@@ -1,0 +1,98 @@
+package pbecc
+
+// One benchmark per table and figure of the paper's evaluation: each
+// regenerates the experiment through the same code path as cmd/pbebench
+// (quick mode keeps -bench=. tractable; run `pbebench -exp <id>` for the
+// full grid and printed rows). Reported metric: wall time to regenerate
+// the experiment.
+
+import (
+	"testing"
+
+	"pbecc/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := harness.RunExperiment(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFigure2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFigure5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFigure6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFigure6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFigure7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFigure11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFigure18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFigure19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFigure20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFigure21a(b *testing.B) { benchExperiment(b, "fig21a") }
+func BenchmarkFigure21b(b *testing.B) { benchExperiment(b, "fig21b") }
+func BenchmarkFigure21c(b *testing.B) { benchExperiment(b, "fig21c") }
+func BenchmarkFigure21d(b *testing.B) { benchExperiment(b, "fig21d") }
+
+// Ablation benches: the design-choice studies DESIGN.md calls out.
+
+func BenchmarkAblationSuite(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkAblationDecode compares the oracle monitor path against the
+// bit-level PDCCH blind-decode path on the same scenario, reporting the
+// cost of real decoding.
+func BenchmarkAblationDecode(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		decode bool
+	}{{"oracle", false}, {"pdcch", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loc := harness.Location{Index: 300, Name: "decode", Indoor: true,
+					CCs: 1, Busy: false, RSSI: -91}
+				sc := harness.LocationScenario(loc, "pbe", 500e6) // 500 ms
+				sc.MonitorDecodesPDCCH = mode.decode
+				r := harness.Run(sc)
+				if r.Flows[0].Received == 0 {
+					b.Fatal("no packets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilter quantifies the §4.2.1 control-traffic filter on
+// a busy cell: disabling it inflates N and shrinks the fair share.
+func BenchmarkAblationFilter(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"filter-on", false}, {"filter-off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				loc := harness.Location{Index: 301, Name: "filter", Indoor: true,
+					CCs: 1, Busy: true, RSSI: -91}
+				sc := harness.LocationScenario(loc, "pbe", 3e9) // 3 s
+				sc.DisableUserFilter = mode.disable
+				tput = harness.Run(sc).Flows[0].AvgTputMbps
+			}
+			b.ReportMetric(tput, "Mbit/s")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Command pbebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pbebench -exp table1           # one experiment
+//	pbebench -exp all              # everything
+//	pbebench -exp fig12 -quick     # reduced grid for a fast look
+//	pbebench -list                 # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbecc/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	quick := flag.Bool("quick", false, "reduced durations and location grid")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e harness.Experiment) {
+		fmt.Printf("--- running %s (%s) ---\n", e.ID, e.Title)
+		for _, t := range e.Run(*quick) {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	for _, e := range harness.Experiments() {
+		if e.ID == *exp {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+	os.Exit(1)
+}

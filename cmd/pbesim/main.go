@@ -1,0 +1,77 @@
+// Command pbesim runs a single end-to-end scenario and prints a summary:
+// one flow of the chosen scheme over a configurable cellular path.
+//
+// Example:
+//
+//	pbesim -scheme pbe -duration 10s -rssi -93 -cells 2 -busy
+//	pbesim -scheme bbr -internet-rate 10e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pbecc/internal/harness"
+	"pbecc/internal/phy"
+	"pbecc/internal/trace"
+)
+
+func main() {
+	scheme := flag.String("scheme", "pbe", "congestion control scheme")
+	dur := flag.Duration("duration", 8*time.Second, "simulated duration")
+	rssi := flag.Float64("rssi", -93, "signal strength in dBm")
+	cells := flag.Int("cells", 1, "configured component carriers (1-3)")
+	busy := flag.Bool("busy", false, "busy cell (control chatter + background users)")
+	rtt := flag.Duration("rtt", 40*time.Millisecond, "server-tower round-trip propagation")
+	internetRate := flag.Float64("internet-rate", 0, "Internet bottleneck rate in bits/s (0 = none)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	mobile := flag.Bool("mobility", false, "use the paper's -85/-105 dBm trajectory")
+	flag.Parse()
+
+	ok := false
+	for _, s := range harness.Schemes {
+		if s == *scheme {
+			ok = true
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (have %v)\n", *scheme, harness.Schemes)
+		os.Exit(1)
+	}
+
+	loc := harness.Location{
+		Index: int(*seed), Name: "cli", Indoor: true,
+		CCs: *cells, Busy: *busy, RSSI: *rssi,
+	}
+	sc := harness.LocationScenario(loc, *scheme, *dur)
+	sc.Seed = *seed
+	sc.Flows[0].RTTBase = *rtt
+	if *internetRate > 0 {
+		sc.Flows[0].InternetRate = *internetRate
+		sc.Flows[0].InternetQueue = 1 << 18
+	}
+	if *mobile {
+		sc.UEs[0].Trajectory = phy.PaperMobilityTrajectory()
+	}
+	if *busy {
+		sc.Cells[0].Control = trace.Busy()
+	}
+
+	r := harness.Run(sc)
+	f := r.Flows[0]
+	fmt.Printf("scheme          %s\n", f.Scheme)
+	fmt.Printf("duration        %v (seed %d)\n", *dur, *seed)
+	fmt.Printf("avg throughput  %.2f Mbit/s\n", f.AvgTputMbps)
+	fmt.Printf("tput p10/50/90  %.1f / %.1f / %.1f Mbit/s\n",
+		f.Tput.Percentile(10), f.Tput.Percentile(50), f.Tput.Percentile(90))
+	fmt.Printf("delay avg       %.1f ms\n", f.Delay.Mean())
+	fmt.Printf("delay p50/95    %.1f / %.1f ms\n",
+		f.Delay.Percentile(50), f.Delay.Percentile(95))
+	fmt.Printf("packets         %d acked, %d lost\n", f.Received, f.Lost)
+	if f.Scheme == "pbe" {
+		fmt.Printf("internet state  %.1f%% of time\n", 100*f.InternetFrac)
+	}
+	fmt.Printf("CA triggered    %v\n", r.CATriggered)
+}

@@ -1,0 +1,20 @@
+// Package pbecc is a from-scratch Go reproduction of "PBE-CC: Congestion
+// Control via Endpoint-Centric, Physical-Layer Bandwidth Measurements"
+// (Xie, Yi, Jamieson; SIGCOMM 2020).
+//
+// The paper's contribution - a congestion controller whose mobile client
+// decodes the cellular control channel to measure available capacity per
+// millisecond - lives in internal/core. Everything it depends on is built
+// in this module as well: a subframe-accurate LTE MAC simulator with
+// carrier aggregation and HARQ (internal/lte), a PDCCH blind decoder with
+// real channel coding (internal/pdcch), PHY-layer rate/error models
+// (internal/phy), a discrete-event engine (internal/sim), a wired-network
+// model (internal/netsim), seven baseline congestion-control algorithms
+// (internal/cc/...), workload generators calibrated to the paper's
+// measurements (internal/trace), and the experiment harness regenerating
+// every table and figure of the evaluation (internal/harness).
+//
+// The benchmarks in bench_test.go regenerate each experiment; the
+// cmd/pbebench tool prints the full row/series output. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package pbecc

@@ -1,0 +1,75 @@
+// Realudp: run the PBE-CC wire protocol over real UDP sockets on
+// loopback. A rate-shaped relay stands in for the cellular link; its
+// shaped rate is stepped down and up mid-run, and the PBE-CC sender
+// follows the capacity feedback within a round trip. This is the
+// deployable sender/receiver path of §5 - only the endpoints participate.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pbecc/internal/transport"
+)
+
+func main() {
+	// The "cell": a relay shaping to a varying rate. Its current rate is
+	// what the mobile's monitor would estimate from the control channel.
+	var relay *transport.Relay
+	client, err := transport.NewUDPClient(func() float64 {
+		if relay == nil {
+			return 0
+		}
+		return relay.Rate()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	relay, err = transport.NewRelay(30e6, 128*1024, client.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer relay.Close()
+
+	sender, err := transport.NewUDPSender(relay.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sender.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	go client.Run(ctx)
+	go sender.Run(ctx)
+
+	// Capacity steps: 30 -> 8 -> 45 Mbit/s.
+	go func() {
+		time.Sleep(time.Second)
+		relay.SetRate(8e6)
+		time.Sleep(time.Second)
+		relay.SetRate(45e6)
+	}()
+
+	fmt.Println("t(ms)  link(Mbit/s)  pacing(Mbit/s)  acked")
+	start := time.Now()
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			cs := client.Stats()
+			ss := sender.Stats()
+			fmt.Printf("\ndone: sent=%d acked=%d received=%d (%.1f Mbit over 3s)\n",
+				ss.Sent, ss.Acked, cs.Received, float64(cs.Bytes)*8/1e6)
+			return
+		case <-tick.C:
+			ss := sender.Stats()
+			fmt.Printf("%5d  %12.1f  %14.1f  %5d\n",
+				time.Since(start).Milliseconds(), relay.Rate()/1e6, ss.Rate/1e6, ss.Acked)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cc
+
+import "time"
+
+// WindowedMax tracks the maximum of a time series over a sliding window,
+// as BBR's bottleneck-bandwidth filter does. Samples must arrive with
+// non-decreasing timestamps.
+type WindowedMax struct {
+	Window  time.Duration
+	samples []timedValue
+}
+
+// WindowedMin tracks the minimum over a sliding window, as BBR's RTprop
+// filter does.
+type WindowedMin struct {
+	Window  time.Duration
+	samples []timedValue
+}
+
+type timedValue struct {
+	at time.Duration
+	v  float64
+}
+
+// Update inserts a sample and evicts out-of-window or dominated entries.
+func (w *WindowedMax) Update(at time.Duration, v float64) {
+	cut := 0
+	for cut < len(w.samples) && w.samples[cut].at < at-w.Window {
+		cut++
+	}
+	w.samples = w.samples[cut:]
+	for len(w.samples) > 0 && w.samples[len(w.samples)-1].v <= v {
+		w.samples = w.samples[:len(w.samples)-1]
+	}
+	w.samples = append(w.samples, timedValue{at, v})
+}
+
+// Get returns the current windowed maximum (0 if empty).
+func (w *WindowedMax) Get() float64 {
+	if len(w.samples) == 0 {
+		return 0
+	}
+	return w.samples[0].v
+}
+
+// Expire drops samples older than the window relative to now.
+func (w *WindowedMax) Expire(now time.Duration) {
+	cut := 0
+	for cut < len(w.samples) && w.samples[cut].at < now-w.Window {
+		cut++
+	}
+	w.samples = w.samples[cut:]
+}
+
+// Reset clears the filter.
+func (w *WindowedMax) Reset() { w.samples = w.samples[:0] }
+
+// Update inserts a sample and evicts out-of-window or dominated entries.
+func (w *WindowedMin) Update(at time.Duration, v float64) {
+	cut := 0
+	for cut < len(w.samples) && w.samples[cut].at < at-w.Window {
+		cut++
+	}
+	w.samples = w.samples[cut:]
+	for len(w.samples) > 0 && w.samples[len(w.samples)-1].v >= v {
+		w.samples = w.samples[:len(w.samples)-1]
+	}
+	w.samples = append(w.samples, timedValue{at, v})
+}
+
+// Get returns the current windowed minimum (0 if empty).
+func (w *WindowedMin) Get() float64 {
+	if len(w.samples) == 0 {
+		return 0
+	}
+	return w.samples[0].v
+}
+
+// Expire drops samples older than the window relative to now.
+func (w *WindowedMin) Expire(now time.Duration) {
+	cut := 0
+	for cut < len(w.samples) && w.samples[cut].at < now-w.Window {
+		cut++
+	}
+	w.samples = w.samples[cut:]
+}
+
+// Reset clears the filter.
+func (w *WindowedMin) Reset() { w.samples = w.samples[:0] }
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64 // weight of the new sample
+	val   float64
+	init  bool
+}
+
+// Update folds in a sample and returns the new average.
+func (e *EWMA) Update(v float64) float64 {
+	if !e.init {
+		e.val = v
+		e.init = true
+		return v
+	}
+	e.val = e.Alpha*v + (1-e.Alpha)*e.val
+	return e.val
+}
+
+// Get returns the current average (0 before the first sample).
+func (e *EWMA) Get() float64 { return e.val }
+
+// Initialized reports whether any sample has been folded in.
+func (e *EWMA) Initialized() bool { return e.init }

@@ -1,0 +1,272 @@
+package cc
+
+import (
+	"time"
+
+	"pbecc/internal/netsim"
+	"pbecc/internal/sim"
+)
+
+// Sender is a full-buffer, UDP-based data sender driven by a Controller,
+// the shape of the paper's user-space prototype: it paces packets at the
+// controller's rate, respects the controller's congestion window, samples
+// delivery rate per ACK (BBR-style), and declares losses with a
+// reordering-tolerant time threshold that accounts for cellular HARQ
+// delays (§3: up to three retransmissions of eight milliseconds).
+type Sender struct {
+	eng    *sim.Engine
+	FlowID int
+	out    netsim.Handler
+	ctrl   Controller
+	mss    int
+
+	nextSeq       uint64
+	sent          map[uint64]*sentPkt
+	order         []uint64
+	inflightBytes int
+
+	delivered   uint64 // total bytes acked
+	deliveredAt time.Duration
+
+	srtt   time.Duration
+	rttvar time.Duration
+
+	nextRelease time.Duration
+	pumpEv      *sim.Event
+	lossTicker  *sim.Ticker
+	running     bool
+
+	// OnAckHook, when set, observes every processed ACK sample (used by
+	// experiment instrumentation).
+	OnAckHook func(AckSample)
+
+	// Counters.
+	SentPackets  uint64
+	AckedPackets uint64
+	LostPackets  uint64
+	SentBytes    uint64
+	AckedBytes   uint64
+}
+
+type sentPkt struct {
+	seq                 uint64
+	bytes               int
+	sentAt              time.Duration
+	deliveredAtSend     uint64
+	deliveredTimeAtSend time.Duration
+}
+
+// lossSweepInterval is how often the in-flight list is scanned for
+// timed-out packets.
+const lossSweepInterval = 5 * time.Millisecond
+
+// harqReorderAllowance is the extra one-way delay a packet can legally
+// accumulate inside the cellular link from HARQ retransmissions (3 x 8 ms)
+// plus jitter; the loss detector must not fire earlier.
+const harqReorderAllowance = 27 * time.Millisecond
+
+// NewSender wires a sender for flowID that transmits MSS-sized packets
+// into out under ctrl's control. Call Start to begin.
+func NewSender(eng *sim.Engine, flowID int, out netsim.Handler, ctrl Controller) *Sender {
+	return &Sender{
+		eng:    eng,
+		FlowID: flowID,
+		out:    out,
+		ctrl:   ctrl,
+		mss:    netsim.MSS,
+		sent:   make(map[uint64]*sentPkt),
+	}
+}
+
+// Controller returns the congestion controller driving this sender.
+func (s *Sender) Controller() Controller { return s.ctrl }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// InflightBytes returns bytes sent but not yet acked or declared lost.
+func (s *Sender) InflightBytes() int { return s.inflightBytes }
+
+// Start begins transmission and loss detection.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.lossTicker = s.eng.Every(lossSweepInterval, s.sweepLosses)
+	s.pump()
+}
+
+// Stop halts transmission; in-flight packets may still be acked.
+func (s *Sender) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	if s.lossTicker != nil {
+		s.lossTicker.Stop()
+		s.lossTicker = nil
+	}
+	if s.pumpEv != nil {
+		s.pumpEv.Cancel()
+		s.pumpEv = nil
+	}
+}
+
+// Running reports whether the sender is transmitting.
+func (s *Sender) Running() bool { return s.running }
+
+// pump transmits as permitted by the controller's window and pacing rate.
+func (s *Sender) pump() {
+	if !s.running {
+		return
+	}
+	now := s.eng.Now()
+	for {
+		cwnd := s.ctrl.CWND()
+		if s.inflightBytes+s.mss > cwnd && s.inflightBytes > 0 {
+			return // window-limited: an ACK or loss will re-pump
+		}
+		if rate := s.ctrl.PacingRate(); rate > 0 {
+			if now < s.nextRelease {
+				s.schedulePump(s.nextRelease - now)
+				return
+			}
+			gap := time.Duration(float64(s.mss*8) / rate * float64(time.Second))
+			if s.nextRelease < now-gap {
+				// Idle restart: do not accumulate send credit.
+				s.nextRelease = now
+			}
+			s.nextRelease += gap
+		}
+		s.sendOne(now)
+	}
+}
+
+func (s *Sender) schedulePump(d time.Duration) {
+	if s.pumpEv != nil {
+		s.pumpEv.Cancel()
+	}
+	s.pumpEv = s.eng.Schedule(d, s.pump)
+}
+
+func (s *Sender) sendOne(now time.Duration) {
+	s.nextSeq++
+	seq := s.nextSeq
+	p := &netsim.Packet{FlowID: s.FlowID, Seq: seq, Size: s.mss, SentAt: now}
+	s.sent[seq] = &sentPkt{
+		seq:                 seq,
+		bytes:               s.mss,
+		sentAt:              now,
+		deliveredAtSend:     s.delivered,
+		deliveredTimeAtSend: s.deliveredAt,
+	}
+	s.order = append(s.order, seq)
+	s.inflightBytes += s.mss
+	s.SentPackets++
+	s.SentBytes += uint64(s.mss)
+	s.ctrl.OnSent(now, seq, s.mss, s.inflightBytes)
+	s.out.HandlePacket(now, p)
+}
+
+// HandlePacket processes acknowledgements arriving from the receiver.
+func (s *Sender) HandlePacket(now time.Duration, p *netsim.Packet) {
+	if !p.IsAck {
+		return
+	}
+	info, ok := s.sent[p.Ack.AckSeq]
+	if !ok {
+		return // already declared lost or duplicate
+	}
+	delete(s.sent, p.Ack.AckSeq)
+	s.inflightBytes -= info.bytes
+	s.delivered += uint64(info.bytes)
+	s.deliveredAt = now
+	s.AckedPackets++
+	s.AckedBytes += uint64(info.bytes)
+
+	rtt := now - info.sentAt
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+
+	var rate float64
+	if dt := now - info.deliveredTimeAtSend; dt > 0 {
+		rate = float64(s.delivered-info.deliveredAtSend) * 8 / dt.Seconds()
+	}
+
+	sample := AckSample{
+		Now:                now,
+		Seq:                info.seq,
+		AckedBytes:         info.bytes,
+		RTT:                rtt,
+		SRTT:               s.srtt,
+		OneWayDelay:        p.Ack.ReceivedAt - info.sentAt,
+		DeliveryRate:       rate,
+		InflightBytes:      s.inflightBytes,
+		FeedbackRate:       p.Ack.FeedbackRate,
+		InternetBottleneck: p.Ack.InternetBottleneck,
+	}
+	s.ctrl.OnAck(sample)
+	if s.OnAckHook != nil {
+		s.OnAckHook(sample)
+	}
+	s.compactOrder()
+	s.pump()
+}
+
+// sweepLosses declares packets lost when they have been in flight longer
+// than srtt plus variance plus the HARQ reordering allowance.
+func (s *Sender) sweepLosses() {
+	if len(s.sent) == 0 || s.srtt == 0 {
+		return
+	}
+	now := s.eng.Now()
+	slack := 4 * s.rttvar
+	if slack < 10*time.Millisecond {
+		slack = 10 * time.Millisecond
+	}
+	threshold := s.srtt + slack + harqReorderAllowance
+	for _, seq := range s.order {
+		info, ok := s.sent[seq]
+		if !ok {
+			continue
+		}
+		if now-info.sentAt <= threshold {
+			break // order holds sequences in send order
+		}
+		delete(s.sent, seq)
+		s.inflightBytes -= info.bytes
+		s.LostPackets++
+		s.ctrl.OnLoss(LossSample{
+			Now:           now,
+			Seq:           seq,
+			Bytes:         info.bytes,
+			InflightBytes: s.inflightBytes,
+		})
+	}
+	s.compactOrder()
+	s.pump()
+}
+
+// compactOrder drops the acked/lost prefix of the send-order list.
+func (s *Sender) compactOrder() {
+	i := 0
+	for i < len(s.order) {
+		if _, ok := s.sent[s.order[i]]; ok {
+			break
+		}
+		i++
+	}
+	if i > 0 {
+		s.order = s.order[i:]
+	}
+}

@@ -1,0 +1,463 @@
+// Package harness assembles end-to-end experiments: content servers
+// running a congestion-control scheme, an optional Internet bottleneck,
+// cellular cells with background control traffic, UEs with carrier
+// aggregation, and per-flow statistics over 100 ms windows - the role
+// Pantheon plays in the paper's methodology (§6.1).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pbecc/internal/cc"
+	"pbecc/internal/cc/bbr"
+	"pbecc/internal/cc/copa"
+	"pbecc/internal/cc/cubic"
+	"pbecc/internal/cc/pcc"
+	"pbecc/internal/cc/sprout"
+	"pbecc/internal/cc/verus"
+	"pbecc/internal/cc/vivace"
+	"pbecc/internal/core"
+	"pbecc/internal/lte"
+	"pbecc/internal/netsim"
+	"pbecc/internal/pdcch"
+	"pbecc/internal/phy"
+	"pbecc/internal/sim"
+	"pbecc/internal/stats"
+)
+
+// Schemes lists every congestion-control algorithm under test, in the
+// paper's order (§6.1).
+var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace"}
+
+// CellSpec describes one component carrier.
+type CellSpec struct {
+	ID      int
+	NPRB    int
+	Table   phy.CQITable
+	Control lte.ControlSource // nil = no control-plane chatter
+}
+
+// UESpec describes one mobile device.
+type UESpec struct {
+	ID          int
+	RNTI        uint16
+	CellIDs     []int // primary first
+	RSSI        float64
+	Trajectory  phy.Trajectory // overrides RSSI when non-nil
+	FadingSigma float64
+	CA          bool // carrier aggregation enabled
+}
+
+// FlowSpec describes one end-to-end flow from a content server to a UE.
+type FlowSpec struct {
+	ID     int
+	UE     int
+	Scheme string // one of Schemes, or "fixed" with FixedRate set
+	Start  time.Duration
+	Stop   time.Duration // 0 = run to scenario end
+
+	RTTBase time.Duration // server<->tower round-trip propagation
+
+	// Optional Internet bottleneck on the data path.
+	InternetRate  float64
+	InternetQueue int
+
+	// FixedRate drives a constant-rate source instead of a controller.
+	FixedRate float64
+
+	// OnPeriod/OffPeriod, when set with Scheme "fixed", gate the source
+	// on and off (the §6.3.3 controlled competitor).
+	OnPeriod  time.Duration
+	OffPeriod time.Duration
+}
+
+// Scenario is a complete experiment.
+type Scenario struct {
+	Name     string
+	Seed     int64
+	Duration time.Duration
+	Cells    []CellSpec
+	UEs      []UESpec
+	Flows    []FlowSpec
+
+	// PRBSampleEvery, when positive, samples each UE's primary-cell PRB
+	// allocation (averaged over the interval) for the fairness figures.
+	PRBSampleEvery time.Duration
+
+	// MonitorDecodesPDCCH routes monitor input through the bit-level
+	// PDCCH encode/blind-decode path instead of scheduler structs (the
+	// decode-versus-oracle ablation). Slower; used by dedicated benches.
+	MonitorDecodesPDCCH bool
+
+	// DisableUserFilter turns off PBE-CC's control-traffic filter
+	// (ablation of §4.2.1).
+	DisableUserFilter bool
+
+	// MisreportGuard configures the §7 server-side feedback validator.
+	MisreportGuard float64
+}
+
+// FlowResult is one flow's measured performance.
+type FlowResult struct {
+	ID     int
+	Scheme string
+
+	Tput  *stats.Series         // Mbit/s per 100 ms window
+	Delay *stats.DurationSeries // one-way delay per packet, ms
+
+	AvgTputMbps float64
+	Received    uint64
+	Lost        uint64
+
+	// PBE-only statistics.
+	InternetFrac float64
+
+	// Timeline series sampled every 100 ms (rate in Mbit/s, delay ms).
+	TimelineT []time.Duration
+	TimelineR []float64
+	TimelineD []float64
+
+	snd     *cc.Sender
+	windows *stats.Windowed
+	start   time.Duration
+	stop    time.Duration
+	pbe     *core.Client
+}
+
+// Result is a completed scenario.
+type Result struct {
+	Scenario *Scenario
+	Flows    []*FlowResult
+
+	// CATriggered reports whether any UE activated a secondary carrier.
+	CATriggered bool
+
+	// PRBSamples[ueIndex] holds the sampled primary-cell PRB shares.
+	PRBTimes   []time.Duration
+	PRBSamples map[int][]float64
+}
+
+// Run executes the scenario and collects per-flow statistics.
+func Run(sc *Scenario) *Result {
+	eng := sim.New(sc.Seed)
+	res := &Result{Scenario: sc, PRBSamples: map[int][]float64{}}
+
+	cells := map[int]*lte.Cell{}
+	for _, cs := range sc.Cells {
+		table := cs.Table
+		if table == 0 {
+			table = phy.Table64QAM
+		}
+		cells[cs.ID] = lte.NewCell(eng, cs.ID, cs.NPRB, table, cs.Control)
+	}
+
+	ues := map[int]*lte.UE{}
+	channels := map[[2]int]*phy.Channel{} // (ueID, cellID) -> channel
+	for _, us := range sc.UEs {
+		ue := lte.NewUE(eng, us.ID, us.RNTI)
+		for _, cid := range us.CellIDs {
+			cell := cells[cid]
+			var fading *phy.Fading
+			if us.FadingSigma > 0 {
+				fading = phy.NewFading(us.FadingSigma, 50*time.Millisecond, eng.Rand())
+			}
+			var ch *phy.Channel
+			if us.Trajectory != nil {
+				ch = phy.NewMobileChannel(us.Trajectory, cell.Table, fading)
+			} else {
+				ch = phy.NewStaticChannel(us.RSSI, cell.Table, fading)
+			}
+			channels[[2]int{us.ID, cid}] = ch
+			ue.AddCell(cell, ch)
+		}
+		ue.SetCarrierAggregation(us.CA)
+		ue.Start()
+		ues[us.ID] = ue
+	}
+
+	// PBE monitors: one per UE hosting at least one PBE flow, fed by every
+	// configured cell but tracking only the active set.
+	monitors := map[int]*core.Monitor{}
+	clientGroups := map[int]*clientGroup{}
+	for _, fs := range sc.Flows {
+		if fs.Scheme != "pbe" {
+			continue
+		}
+		us := ueSpec(sc, fs.UE)
+		if _, ok := monitors[fs.UE]; ok {
+			continue
+		}
+		mon := core.NewMonitor(us.RNTI)
+		mon.UseFilter = !sc.DisableUserFilter
+		monitors[fs.UE] = mon
+		clientGroups[fs.UE] = &clientGroup{}
+		ue := ues[fs.UE]
+		attach := func(active []*lte.Cell) {
+			activeSet := map[int]bool{}
+			for _, c := range active {
+				activeSet[c.ID] = true
+				already := false
+				for _, id := range mon.ActiveCellIDs() {
+					if id == c.ID {
+						already = true
+					}
+				}
+				if !already {
+					ch := channels[[2]int{fs.UE, c.ID}]
+					mon.AttachCell(core.CellInfo{
+						ID:   c.ID,
+						NPRB: c.NPRB,
+						Rate: func() float64 { return ch.MCS().BitsPerPRB() },
+						BER:  func() float64 { return ch.BER() },
+					})
+				}
+			}
+			for _, id := range append([]int(nil), mon.ActiveCellIDs()...) {
+				if !activeSet[id] {
+					mon.DetachCell(id)
+				}
+			}
+		}
+		attach(ue.ActiveCells())
+		ue.OnActiveChange(attach)
+		for _, cid := range us.CellIDs {
+			cells[cid].AttachMonitor(monitorFeed(sc, cells[cid], mon))
+		}
+	}
+
+	// Flows.
+	end := sc.Duration
+	for i := range sc.Flows {
+		fs := &sc.Flows[i]
+		stop := fs.Stop
+		if stop == 0 {
+			stop = end
+		}
+		fr := &FlowResult{ID: fs.ID, Scheme: fs.Scheme,
+			Tput: &stats.Series{}, Delay: &stats.DurationSeries{}}
+		res.Flows = append(res.Flows, fr)
+		ue := ues[fs.UE]
+
+		if fs.Scheme == "fixed" {
+			ct := netsim.NewCrossTraffic(eng, ue, fs.FixedRate, fs.ID)
+			scheduleOnOff(eng, ct, fs, stop)
+			continue
+		}
+
+		ctrl := newController(fs.Scheme)
+		if p, ok := ctrl.(*core.Sender); ok && sc.MisreportGuard > 0 {
+			p.MisreportGuard = sc.MisreportGuard
+		}
+
+		var snd *cc.Sender
+		ackLink := netsim.NewLink(eng, 0, fs.RTTBase/2, 0,
+			netsim.HandlerFunc(func(now time.Duration, p *netsim.Packet) {
+				snd.HandlePacket(now, p)
+			}))
+		rcv := cc.NewReceiver(eng, fs.ID, ackLink)
+		if fs.Scheme == "pbe" {
+			client := core.NewClient(monitors[fs.UE])
+			grp := clientGroups[fs.UE]
+			grp.clients = append(grp.clients, client)
+			rcv.Feedback = &sharedFeedback{c: client, grp: grp}
+			fr.pbe = client
+		}
+		windows := stats.NewWindowed(100 * time.Millisecond)
+		start := fs.Start
+		rcv.OnData = func(now time.Duration, p *netsim.Packet, owd time.Duration) {
+			if now < start || now > stop {
+				return
+			}
+			windows.Add(now, p.Size)
+			fr.Delay.AddDuration(owd)
+		}
+		ue.RegisterFlow(fs.ID, rcv)
+
+		// Data path: sender -> (internet bottleneck) -> tower -> UE.
+		var dataPath netsim.Handler = ue
+		dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
+		snd = cc.NewSender(eng, fs.ID, dataPath, ctrl)
+		fr.snd = snd
+		fr.windows = windows
+		fr.start, fr.stop = start, stop
+		eng.At(start, snd.Start)
+		if stop < end {
+			eng.At(stop, snd.Stop)
+		}
+	}
+
+	// PRB sampling for the fairness figures.
+	if sc.PRBSampleEvery > 0 && len(sc.Cells) > 0 {
+		primary := cells[sc.Cells[0].ID]
+		acc := map[uint16]int{}
+		subframes := 0
+		rnti2ue := map[uint16]int{}
+		for _, us := range sc.UEs {
+			rnti2ue[us.RNTI] = us.ID
+		}
+		primary.AttachMonitor(func(rep *lte.SubframeReport) {
+			for _, a := range rep.Allocs {
+				if _, ok := rnti2ue[a.RNTI]; ok {
+					acc[a.RNTI] += a.PRBs
+				}
+			}
+			subframes++
+		})
+		eng.Every(sc.PRBSampleEvery, func() {
+			res.PRBTimes = append(res.PRBTimes, eng.Now())
+			for rnti, ueID := range rnti2ue {
+				avg := 0.0
+				if subframes > 0 {
+					avg = float64(acc[rnti]) / float64(subframes)
+				}
+				res.PRBSamples[ueID] = append(res.PRBSamples[ueID], avg)
+				acc[rnti] = 0
+			}
+			subframes = 0
+		})
+	}
+
+	eng.RunUntil(sc.Duration)
+
+	for _, fr := range res.Flows {
+		if fr.windows != nil {
+			fr.Tput = fr.windows.RatesMbps(fr.start, fr.stop)
+			span := (fr.stop - fr.start).Seconds()
+			var bytes float64
+			for _, b := range fr.windows.Buckets() {
+				bytes += b
+			}
+			if span > 0 {
+				fr.AvgTputMbps = bytes * 8 / span / 1e6
+			}
+			fr.buildTimeline()
+		}
+		if fr.snd != nil {
+			fr.Lost = fr.snd.LostPackets
+			fr.Received = fr.snd.AckedPackets
+		}
+		if fr.pbe != nil {
+			fr.InternetFrac = fr.pbe.InternetFraction()
+		}
+	}
+	for _, ue := range ues {
+		if ue.Activations > 0 {
+			res.CATriggered = true
+		}
+	}
+	return res
+}
+
+func (fr *FlowResult) buildTimeline() {
+	buckets := fr.windows.Buckets()
+	// Pad to the flow's stop time so silent periods (a starved sender)
+	// appear as zero-rate windows rather than a truncated series.
+	n := int(fr.stop / fr.windows.Window)
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * fr.windows.Window
+		if t < fr.start || t >= fr.stop {
+			continue
+		}
+		var b float64
+		if i < len(buckets) {
+			b = buckets[i]
+		}
+		fr.TimelineT = append(fr.TimelineT, t)
+		fr.TimelineR = append(fr.TimelineR, b*8/fr.windows.Window.Seconds()/1e6)
+	}
+}
+
+// clientGroup shares one UE's capacity estimate across its concurrent PBE
+// flows (§6.3.4: the client fairly allocates estimated capacity to its
+// own connections).
+type clientGroup struct {
+	clients []*core.Client
+}
+
+type sharedFeedback struct {
+	c   *core.Client
+	grp *clientGroup
+}
+
+// Feedback divides the client's capacity feedback by the number of local
+// PBE flows.
+func (s *sharedFeedback) Feedback(now time.Duration, owd time.Duration, dataBytes int) (float64, bool) {
+	rate, btl := s.c.Feedback(now, owd, dataBytes)
+	n := len(s.grp.clients)
+	if n > 1 {
+		rate /= float64(n)
+	}
+	return rate, btl
+}
+
+// monitorFeed returns the lte.Monitor feeding rep into mon, optionally
+// routing it through the PDCCH encode/blind-decode pipeline.
+func monitorFeed(sc *Scenario, cell *lte.Cell, mon *core.Monitor) lte.Monitor {
+	if !sc.MonitorDecodesPDCCH {
+		return mon.OnSubframe
+	}
+	dec := pdcch.NewDecoder(0)
+	return func(rep *lte.SubframeReport) {
+		region := lte.EncodeReport(rep, 3)
+		if region == nil {
+			mon.OnSubframe(rep) // control region overflow: fall back
+			return
+		}
+		mon.OnSubframe(lte.DecodeReport(region, rep.CellID, cell.Table, dec))
+	}
+}
+
+func scheduleOnOff(eng *sim.Engine, ct *netsim.CrossTraffic, fs *FlowSpec, stop time.Duration) {
+	if fs.OnPeriod <= 0 {
+		eng.At(fs.Start, ct.Start)
+		eng.At(stop, ct.Stop)
+		return
+	}
+	var cycle func(at time.Duration)
+	cycle = func(at time.Duration) {
+		if at >= stop {
+			return
+		}
+		eng.At(at, ct.Start)
+		off := at + fs.OnPeriod
+		if off > stop {
+			off = stop
+		}
+		eng.At(off, ct.Stop)
+		cycle(at + fs.OnPeriod + fs.OffPeriod)
+	}
+	cycle(fs.Start)
+}
+
+// newController builds a controller by scheme name.
+func newController(name string) cc.Controller {
+	switch name {
+	case "pbe":
+		return core.NewSender()
+	case "bbr":
+		return bbr.New()
+	case "cubic":
+		return cubic.New()
+	case "copa":
+		return copa.New()
+	case "verus":
+		return verus.New()
+	case "sprout":
+		return sprout.New()
+	case "pcc":
+		return pcc.New()
+	case "vivace":
+		return vivace.New()
+	}
+	panic(fmt.Sprintf("harness: unknown scheme %q", name))
+}
+
+func ueSpec(sc *Scenario, id int) *UESpec {
+	for i := range sc.UEs {
+		if sc.UEs[i].ID == id {
+			return &sc.UEs[i]
+		}
+	}
+	panic(fmt.Sprintf("harness: unknown UE %d", id))
+}

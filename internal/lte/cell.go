@@ -1,0 +1,458 @@
+package lte
+
+import (
+	"math/rand"
+	"time"
+
+	"pbecc/internal/netsim"
+	"pbecc/internal/phy"
+	"pbecc/internal/sim"
+)
+
+// HARQ parameters of FDD LTE (§3 of the paper): an erroneous transport
+// block is retransmitted eight subframes after the original transmission,
+// at most three times.
+const (
+	HARQDelaySubframes = 8
+	MaxRetransmissions = 3
+)
+
+// DefaultPerUserQueueBytes is the default cap on one user's downlink
+// queue at a cell, modeling the finite RLC buffer of deployed base
+// stations (roughly 250 ms at 50 Mbit/s). Loss-based senders fill it and
+// see drops, as on real cells.
+const DefaultPerUserQueueBytes = 1_500_000
+
+// ControlGrant is a small allocation made to a user that is exchanging
+// control-plane traffic (parameter updates, timers, security) rather than
+// data - the population the paper's Figure 7 measures and PBE-CC filters.
+type ControlGrant struct {
+	RNTI uint16
+	RBGs int
+}
+
+// ControlSource produces the control-plane grants of each subframe.
+// Implementations keep their own state across subframes; package trace
+// provides a population calibrated to Figure 7.
+type ControlSource interface {
+	Tick(subframe int, rng *rand.Rand) []ControlGrant
+}
+
+// Cell is one component carrier: a base station scheduler with per-user
+// queues, HARQ, and control-channel emission.
+type Cell struct {
+	eng *sim.Engine
+
+	ID    int
+	NPRB  int
+	Table phy.CQITable
+
+	control  ControlSource
+	users    []*cellUser
+	byRNTI   map[uint16]*cellUser
+	monitors []Monitor
+
+	subframe    int
+	pendingRetx map[int][]*transportBlock
+	rng         *rand.Rand
+	ticker      *sim.Ticker
+
+	nRBG    int
+	rbgSize int
+
+	// PerUserQueueBytes caps each user's downlink queue; packets beyond
+	// it are dropped at enqueue (drop-tail). Zero means unbounded.
+	PerUserQueueBytes int
+
+	// ErrorModel, when non-nil, replaces random transport-block error
+	// sampling: it is called per transmission attempt and returns whether
+	// the block was received in error. Used by tests and the Figure 3
+	// experiment to inject deterministic errors.
+	ErrorModel func(rnti uint16, tbSeq uint64, attempt int, bits int, ber float64) bool
+
+	// Counters for evaluation (Figure 6a and others).
+	TotalTBs     uint64
+	ErrorTBs     uint64
+	LostTBs      uint64
+	DataPRBs     uint64
+	RetxPRBs     uint64
+	ControlPRBs  uint64
+	QueueDropped uint64
+}
+
+type cellUser struct {
+	rnti uint16
+	ue   *UE
+	ch   *phy.Channel
+
+	queue      []*netsim.Packet
+	headSent   int // bytes of queue[0] already carried in earlier TBs
+	queuedBits int
+	nextTB     uint64
+
+	// Per-subframe scratch, read back by the UE's carrier-aggregation
+	// manager after the cell ticks.
+	lastPRBs       int
+	lastServedBits int
+}
+
+type transportBlock struct {
+	user      *cellUser
+	seq       uint64
+	rbgs      int
+	prbs      int
+	bits      int // allocated size (drives the error probability)
+	completed []*netsim.Packet
+	attempts  int
+	mcs       phy.MCS
+}
+
+// NewCell creates a cell and starts its subframe ticker on the engine.
+// control may be nil for a cell without control-plane chatter.
+func NewCell(eng *sim.Engine, id, nprb int, table phy.CQITable, control ControlSource) *Cell {
+	c := &Cell{
+		eng:         eng,
+		ID:          id,
+		NPRB:        nprb,
+		Table:       table,
+		control:     control,
+		byRNTI:      make(map[uint16]*cellUser),
+		pendingRetx: make(map[int][]*transportBlock),
+		rng:         eng.Rand(),
+	}
+	c.PerUserQueueBytes = DefaultPerUserQueueBytes
+	c.rbgSize = rbgSizeFor(nprb)
+	c.nRBG = (nprb + c.rbgSize - 1) / c.rbgSize
+	c.ticker = eng.Every(time.Millisecond, c.tick)
+	return c
+}
+
+func rbgSizeFor(nprb int) int {
+	switch {
+	case nprb <= 10:
+		return 1
+	case nprb <= 26:
+		return 2
+	case nprb <= 63:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Stop halts the cell's subframe ticker.
+func (c *Cell) Stop() { c.ticker.Stop() }
+
+// Subframe returns the index of the last processed subframe.
+func (c *Cell) Subframe() int { return c.subframe }
+
+// AttachMonitor registers a control-channel monitor; monitors run in
+// registration order after each subframe is scheduled.
+func (c *Cell) AttachMonitor(m Monitor) { c.monitors = append(c.monitors, m) }
+
+// AttachUser connects a UE to this cell under the given RNTI with the
+// given radio channel.
+func (c *Cell) AttachUser(ue *UE, rnti uint16, ch *phy.Channel) {
+	if _, dup := c.byRNTI[rnti]; dup {
+		panic("lte: duplicate RNTI on cell")
+	}
+	u := &cellUser{rnti: rnti, ue: ue, ch: ch}
+	c.users = append(c.users, u)
+	c.byRNTI[rnti] = u
+}
+
+// DetachUser removes a user; queued packets are dropped.
+func (c *Cell) DetachUser(rnti uint16) {
+	u, ok := c.byRNTI[rnti]
+	if !ok {
+		return
+	}
+	delete(c.byRNTI, rnti)
+	for i, v := range c.users {
+		if v == u {
+			c.users = append(c.users[:i], c.users[i+1:]...)
+			break
+		}
+	}
+}
+
+// Enqueue adds a downlink packet to the user's queue at this cell. It
+// reports false if the RNTI is not attached.
+func (c *Cell) Enqueue(rnti uint16, p *netsim.Packet) bool {
+	u, ok := c.byRNTI[rnti]
+	if !ok {
+		return false
+	}
+	if c.PerUserQueueBytes > 0 && u.queuedBits/8+p.Size > c.PerUserQueueBytes {
+		c.QueueDropped++
+		return false
+	}
+	u.queue = append(u.queue, p)
+	u.queuedBits += p.Size * 8
+	return true
+}
+
+// UserQueueBits returns the bits waiting in a user's queue.
+func (c *Cell) UserQueueBits(rnti uint16) int {
+	if u, ok := c.byRNTI[rnti]; ok {
+		return u.queuedBits
+	}
+	return 0
+}
+
+// UserRate returns the user's current physical rate in bits per PRB.
+func (c *Cell) UserRate(rnti uint16) float64 {
+	if u, ok := c.byRNTI[rnti]; ok {
+		return u.ch.MCS().BitsPerPRB()
+	}
+	return 0
+}
+
+// LastUserPRBs returns the PRBs granted to the user in the last subframe.
+func (c *Cell) LastUserPRBs(rnti uint16) int {
+	if u, ok := c.byRNTI[rnti]; ok {
+		return u.lastPRBs
+	}
+	return 0
+}
+
+// LastUserServedBits returns the payload bits served to the user in the
+// last subframe.
+func (c *Cell) LastUserServedBits(rnti uint16) int {
+	if u, ok := c.byRNTI[rnti]; ok {
+		return u.lastServedBits
+	}
+	return 0
+}
+
+// prbsInRBGSpan counts PRBs in RBGs [first, first+n).
+func (c *Cell) prbsInRBGSpan(first, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	prbs := n * c.rbgSize
+	if first+n == c.nRBG {
+		if rem := c.NPRB % c.rbgSize; rem != 0 {
+			prbs -= c.rbgSize - rem
+		}
+	}
+	return prbs
+}
+
+// tick runs one subframe: advance channels, serve control users, serve
+// HARQ retransmissions, water-fill the remaining RBGs over backlogged
+// users, sample transport-block errors, and publish the control channel.
+func (c *Cell) tick() {
+	now := c.eng.Now()
+	c.subframe++
+	for _, u := range c.users {
+		u.ch.Step(now, time.Millisecond)
+		u.lastPRBs = 0
+		u.lastServedBits = 0
+	}
+
+	rep := &SubframeReport{CellID: c.ID, Subframe: c.subframe, NPRB: c.NPRB}
+	rbgLeft := c.nRBG
+	cursor := 0
+
+	// 1. Control-plane users occupy a few RBGs first.
+	if c.control != nil {
+		for _, g := range c.control.Tick(c.subframe, c.rng) {
+			n := g.RBGs
+			if n > rbgLeft {
+				n = rbgLeft
+			}
+			if n == 0 {
+				break
+			}
+			prbs := c.prbsInRBGSpan(cursor, n)
+			mcs := phy.MCS{CQI: 5, Table: c.Table, Streams: 1}
+			rep.Allocs = append(rep.Allocs, Alloc{
+				RNTI: g.RNTI, FirstRBG: cursor, NumRBGs: n, PRBs: prbs,
+				MCS: mcs, TBBits: int(float64(prbs) * mcs.BitsPerPRB()),
+				NDI: true, Control: true,
+			})
+			c.ControlPRBs += uint64(prbs)
+			cursor += n
+			rbgLeft -= n
+		}
+	}
+
+	// 2. HARQ retransmissions scheduled for this subframe.
+	if due := c.pendingRetx[c.subframe]; len(due) > 0 {
+		delete(c.pendingRetx, c.subframe)
+		for i, tb := range due {
+			if _, attached := c.byRNTI[tb.user.rnti]; !attached {
+				continue
+			}
+			if tb.rbgs > rbgLeft {
+				// Control region exhausted: postpone the rest by one
+				// subframe.
+				c.pendingRetx[c.subframe+1] = append(c.pendingRetx[c.subframe+1], due[i:]...)
+				break
+			}
+			prbs := c.prbsInRBGSpan(cursor, tb.rbgs)
+			rep.Allocs = append(rep.Allocs, Alloc{
+				RNTI: tb.user.rnti, FirstRBG: cursor, NumRBGs: tb.rbgs, PRBs: prbs,
+				MCS: tb.mcs, TBBits: tb.bits, NDI: false,
+			})
+			c.RetxPRBs += uint64(prbs)
+			tb.user.lastPRBs += prbs
+			cursor += tb.rbgs
+			rbgLeft -= tb.rbgs
+			c.transmit(tb)
+		}
+	}
+
+	// 3. Water-fill the remaining RBGs over backlogged data users.
+	var blUsers []*cellUser
+	var wants []int
+	for _, u := range c.users {
+		if u.queuedBits <= 0 || !u.ch.MCS().Valid() {
+			continue
+		}
+		perRBG := u.ch.MCS().BitsPerPRB() * float64(c.rbgSize)
+		w := int(float64(u.queuedBits)/perRBG) + 1
+		blUsers = append(blUsers, u)
+		wants = append(wants, w)
+	}
+	grants := waterFill(wants, rbgLeft, c.subframe)
+	for i, u := range blUsers {
+		n := grants[i]
+		if n == 0 {
+			continue
+		}
+		prbs := c.prbsInRBGSpan(cursor, n)
+		mcs := u.ch.MCS()
+		bits := int(float64(prbs) * mcs.BitsPerPRB())
+		tb := c.buildTB(u, n, prbs, bits, mcs)
+		rep.Allocs = append(rep.Allocs, Alloc{
+			RNTI: u.rnti, FirstRBG: cursor, NumRBGs: n, PRBs: prbs,
+			MCS: mcs, TBBits: bits, NDI: true,
+		})
+		c.DataPRBs += uint64(prbs)
+		u.lastPRBs += prbs
+		cursor += n
+		rbgLeft -= n
+		c.transmit(tb)
+	}
+
+	for _, m := range c.monitors {
+		m(rep)
+	}
+}
+
+// buildTB drains up to the allocated bits from the user's queue into a new
+// transport block.
+func (c *Cell) buildTB(u *cellUser, rbgs, prbs, bits int, mcs phy.MCS) *transportBlock {
+	tb := &transportBlock{user: u, seq: u.nextTB, rbgs: rbgs, prbs: prbs, bits: bits, mcs: mcs}
+	u.nextTB++
+	capBytes := bits / 8
+	served := 0
+	for capBytes > 0 && len(u.queue) > 0 {
+		head := u.queue[0]
+		rem := head.Size - u.headSent
+		take := rem
+		if take > capBytes {
+			take = capBytes
+		}
+		u.headSent += take
+		capBytes -= take
+		served += take
+		if u.headSent == head.Size {
+			tb.completed = append(tb.completed, head)
+			u.queue = u.queue[1:]
+			u.headSent = 0
+		}
+	}
+	u.queuedBits -= served * 8
+	u.lastServedBits += served * 8
+	return tb
+}
+
+// transmit samples the block error process for one attempt and schedules
+// either in-order delivery at the next subframe boundary or a HARQ
+// retransmission eight subframes later. After the maximum number of
+// retransmissions the block is declared lost and the receiver's reordering
+// buffer is released (its packets never arrive).
+func (c *Cell) transmit(tb *transportBlock) {
+	c.TotalTBs++
+	ue := tb.user.ue
+	var errored bool
+	if c.ErrorModel != nil {
+		errored = c.ErrorModel(tb.user.rnti, tb.seq, tb.attempts, tb.bits, tb.user.ch.BER())
+	} else {
+		errored = c.rng.Float64() < phy.TBErrorRate(tb.user.ch.BER(), tb.bits)
+	}
+	if !errored {
+		c.eng.Schedule(time.Millisecond, func() {
+			ue.deliverTB(c.ID, tb.seq, tb.completed, true)
+		})
+		return
+	}
+	c.ErrorTBs++
+	tb.attempts++
+	if tb.attempts > MaxRetransmissions {
+		c.LostTBs++
+		c.eng.Schedule(time.Millisecond, func() {
+			ue.deliverTB(c.ID, tb.seq, tb.completed, false)
+		})
+		return
+	}
+	retxAt := c.subframe + HARQDelaySubframes
+	c.pendingRetx[retxAt] = append(c.pendingRetx[retxAt], tb)
+}
+
+// waterFill distributes capacity RBGs over users with the given demands,
+// equalizing shares: users wanting less than the fair share are satisfied
+// in full and the surplus is redistributed. Leftover odd RBGs rotate with
+// the subframe index so no user position is systematically favored.
+func waterFill(wants []int, capacity, rotate int) []int {
+	grants := make([]int, len(wants))
+	unsat := make([]int, 0, len(wants))
+	for i, w := range wants {
+		if w > 0 {
+			unsat = append(unsat, i)
+		}
+	}
+	for capacity > 0 && len(unsat) > 0 {
+		share := capacity / len(unsat)
+		if share == 0 {
+			// Fewer RBGs than users: hand out one each, rotating.
+			off := rotate % len(unsat)
+			for k := 0; k < capacity; k++ {
+				grants[unsat[(off+k)%len(unsat)]]++
+			}
+			capacity = 0
+			break
+		}
+		progress := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			need := wants[i] - grants[i]
+			if need <= share {
+				grants[i] = wants[i]
+				capacity -= need
+				progress = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !progress {
+			// Everyone needs more than the share: grant the share and
+			// rotate the remainder.
+			for _, i := range unsat {
+				grants[i] += share
+				capacity -= share
+			}
+			off := rotate % len(unsat)
+			for k := 0; k < capacity; k++ {
+				grants[unsat[(off+k)%len(unsat)]]++
+			}
+			capacity = 0
+			break
+		}
+	}
+	return grants
+}

@@ -1,0 +1,287 @@
+package lte
+
+import (
+	"time"
+
+	"pbecc/internal/netsim"
+	"pbecc/internal/phy"
+	"pbecc/internal/sim"
+)
+
+// Carrier-aggregation policy constants, calibrated to the dynamics of the
+// paper's Figure 2 (secondary cell activated about 130 ms after a
+// high-rate flow starts; deactivated a few hundred ms after load drops).
+const (
+	caDecisionWindow  = 100 // subframes observed before activation
+	caActivateFrac    = 0.8 // fraction of window that must show demand
+	caOccupancyFrac   = 0.6 // user share of active-cell PRBs that signals demand
+	caBacklogBits     = 12000
+	caActivateHoldoff = 150 * time.Millisecond
+	caDeactWindow     = 500 // subframes for the deactivation decision
+	caDeactFrac       = 0.6 // load must fit in this fraction of n-1 cells
+	caDeactHoldoff    = 500 * time.Millisecond
+)
+
+// UE is one mobile device: it dispatches arriving downlink packets across
+// its active component carriers, reorders HARQ-delayed transport blocks
+// per cell, releases packets in order to per-flow receivers, and runs the
+// network side's carrier (de)activation policy.
+type UE struct {
+	eng  *sim.Engine
+	ID   int
+	RNTI uint16
+
+	cells    []*Cell
+	channels []*phy.Channel
+	active   int
+
+	flows       map[int]netsim.Handler
+	defaultFlow netsim.Handler
+
+	reorder map[int]*reorderState
+
+	onActiveChange []func(active []*Cell)
+
+	// CA decision state.
+	caEnabled    bool
+	demandRing   []bool
+	demandIdx    int
+	demandFill   int
+	servedRing   []int
+	servedIdx    int
+	servedFill   int
+	servedSum    int64
+	lastCAChange time.Duration
+	ticker       *sim.Ticker
+
+	// Counters.
+	LostPackets   uint64
+	Delivered     uint64
+	Activations   uint64
+	Deactivations uint64
+}
+
+type reorderState struct {
+	next    uint64
+	pending map[uint64]tbArrival
+}
+
+type tbArrival struct {
+	packets []*netsim.Packet
+	ok      bool
+}
+
+// NewUE creates a UE; add component carriers with AddCell (primary first),
+// then Start.
+func NewUE(eng *sim.Engine, id int, rnti uint16) *UE {
+	return &UE{
+		eng:        eng,
+		ID:         id,
+		RNTI:       rnti,
+		flows:      make(map[int]netsim.Handler),
+		reorder:    make(map[int]*reorderState),
+		caEnabled:  true,
+		demandRing: make([]bool, caDecisionWindow),
+		servedRing: make([]int, caDeactWindow),
+	}
+}
+
+// AddCell configures a component carrier; the first call sets the primary
+// cell. The UE attaches to the cell immediately, but packets are only
+// dispatched to active carriers.
+func (u *UE) AddCell(c *Cell, ch *phy.Channel) {
+	c.AttachUser(u, u.RNTI, ch)
+	u.cells = append(u.cells, c)
+	u.channels = append(u.channels, ch)
+	u.reorder[c.ID] = &reorderState{pending: make(map[uint64]tbArrival)}
+	if u.active == 0 {
+		u.active = 1
+	}
+}
+
+// SetCarrierAggregation enables or disables secondary-cell activation
+// (disabled models a device like the paper's Redmi 8 with one carrier).
+func (u *UE) SetCarrierAggregation(on bool) { u.caEnabled = on }
+
+// Start begins the UE's per-subframe carrier-aggregation bookkeeping.
+func (u *UE) Start() {
+	if u.ticker != nil {
+		return
+	}
+	u.ticker = u.eng.Every(time.Millisecond, u.tick)
+}
+
+// Stop halts the UE's ticker.
+func (u *UE) Stop() {
+	if u.ticker != nil {
+		u.ticker.Stop()
+		u.ticker = nil
+	}
+}
+
+// ActiveCells returns the currently active component carriers, primary
+// first. The returned slice must not be modified.
+func (u *UE) ActiveCells() []*Cell { return u.cells[:u.active] }
+
+// OnActiveChange registers a callback fired whenever the active carrier
+// set changes (PBE-CC's monitor restarts its fair-share ramp on this
+// event, §4.1).
+func (u *UE) OnActiveChange(fn func(active []*Cell)) {
+	u.onActiveChange = append(u.onActiveChange, fn)
+}
+
+// RegisterFlow routes released packets with the given flow ID to h.
+func (u *UE) RegisterFlow(flowID int, h netsim.Handler) { u.flows[flowID] = h }
+
+// SetDefaultHandler routes packets of unregistered flows.
+func (u *UE) SetDefaultHandler(h netsim.Handler) { u.defaultFlow = h }
+
+// HandlePacket dispatches an arriving downlink packet to the active cell
+// with the smallest estimated drain time, implementing the network's
+// bearer split across aggregated carriers.
+func (u *UE) HandlePacket(now time.Duration, p *netsim.Packet) {
+	best := -1
+	bestDrain := 0.0
+	for i := 0; i < u.active; i++ {
+		c := u.cells[i]
+		rate := c.UserRate(u.RNTI) * float64(c.NPRB) // bits per subframe if alone
+		if rate <= 0 {
+			continue
+		}
+		drain := float64(c.UserQueueBits(u.RNTI)) / rate
+		if best < 0 || drain < bestDrain {
+			best, bestDrain = i, drain
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	u.cells[best].Enqueue(u.RNTI, p)
+}
+
+// deliverTB receives one transport block's completed packets from a cell
+// (ok=false marks a block lost after exhausting HARQ retransmissions) and
+// releases packets in per-cell order, modeling the reordering buffer of
+// Figure 3.
+func (u *UE) deliverTB(cellID int, seq uint64, packets []*netsim.Packet, ok bool) {
+	st := u.reorder[cellID]
+	if st == nil {
+		return
+	}
+	st.pending[seq] = tbArrival{packets: packets, ok: ok}
+	for {
+		a, exists := st.pending[st.next]
+		if !exists {
+			return
+		}
+		delete(st.pending, st.next)
+		st.next++
+		for _, p := range a.packets {
+			if !a.ok {
+				u.LostPackets++
+				continue
+			}
+			u.Delivered++
+			u.route(p)
+		}
+	}
+}
+
+func (u *UE) route(p *netsim.Packet) {
+	h := u.flows[p.FlowID]
+	if h == nil {
+		h = u.defaultFlow
+	}
+	if h != nil {
+		h.HandlePacket(u.eng.Now(), p)
+	}
+}
+
+// tick runs once per subframe after the cells have scheduled, sampling
+// demand and served load for the carrier-aggregation policy.
+func (u *UE) tick() {
+	queued := 0
+	userPRBs := 0
+	totalPRBs := 0
+	served := 0
+	for i := 0; i < u.active; i++ {
+		c := u.cells[i]
+		queued += c.UserQueueBits(u.RNTI)
+		userPRBs += c.LastUserPRBs(u.RNTI)
+		totalPRBs += c.NPRB
+		served += c.LastUserServedBits(u.RNTI)
+	}
+	demand := queued >= caBacklogBits ||
+		float64(userPRBs) >= caOccupancyFrac*float64(totalPRBs)
+	u.demandRing[u.demandIdx] = demand
+	u.demandIdx = (u.demandIdx + 1) % len(u.demandRing)
+	if u.demandFill < len(u.demandRing) {
+		u.demandFill++
+	}
+	u.servedSum += int64(served) - int64(u.servedRing[u.servedIdx])
+	u.servedRing[u.servedIdx] = served
+	u.servedIdx = (u.servedIdx + 1) % len(u.servedRing)
+	if u.servedFill < len(u.servedRing) {
+		u.servedFill++
+	}
+	if !u.caEnabled {
+		return
+	}
+	now := u.eng.Now()
+
+	// Activation: sustained demand over the decision window.
+	if u.active < len(u.cells) && u.demandFill == len(u.demandRing) &&
+		now-u.lastCAChange >= caActivateHoldoff {
+		cnt := 0
+		for _, d := range u.demandRing {
+			if d {
+				cnt++
+			}
+		}
+		if float64(cnt) >= caActivateFrac*float64(len(u.demandRing)) {
+			u.active++
+			u.Activations++
+			u.lastCAChange = now
+			u.resetCAWindows()
+			u.notifyActiveChange()
+			return
+		}
+	}
+
+	// Deactivation: the served load of the last window would fit
+	// comfortably in the active cells minus the last one.
+	if u.active > 1 && u.servedFill == len(u.servedRing) &&
+		now-u.lastCAChange >= caDeactHoldoff {
+		var capMinusLast float64
+		for i := 0; i < u.active-1; i++ {
+			c := u.cells[i]
+			capMinusLast += c.UserRate(u.RNTI) * float64(c.NPRB) * float64(len(u.servedRing))
+		}
+		if float64(u.servedSum) <= caDeactFrac*capMinusLast {
+			u.active--
+			u.Deactivations++
+			u.lastCAChange = now
+			u.resetCAWindows()
+			u.notifyActiveChange()
+		}
+	}
+}
+
+func (u *UE) resetCAWindows() {
+	for i := range u.demandRing {
+		u.demandRing[i] = false
+	}
+	u.demandFill = 0
+	for i := range u.servedRing {
+		u.servedRing[i] = 0
+	}
+	u.servedSum = 0
+	u.servedFill = 0
+}
+
+func (u *UE) notifyActiveChange() {
+	act := u.ActiveCells()
+	for _, fn := range u.onActiveChange {
+		fn(act)
+	}
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"time"
+
+	"pbecc/internal/sim"
+)
+
+// Link is a fixed-rate, fixed-propagation-delay link with a drop-tail
+// queue, the standard model for an Internet bottleneck. A zero RateBps
+// means infinite rate (pure delay); a zero QueueBytes means an unbounded
+// queue.
+type Link struct {
+	eng *sim.Engine
+
+	RateBps    float64       // serialization rate in bits/sec (0 = infinite)
+	Delay      time.Duration // one-way propagation delay
+	QueueBytes int           // drop-tail queue capacity (0 = unbounded)
+
+	dst Handler
+
+	queue       []*Packet
+	queuedBytes int
+	busy        bool
+
+	// Counters for reporting.
+	Delivered  uint64
+	Drops      uint64
+	SentBytes  uint64
+	DropsBytes uint64
+}
+
+// NewLink returns a link that delivers packets to dst.
+func NewLink(eng *sim.Engine, rateBps float64, delay time.Duration, queueBytes int, dst Handler) *Link {
+	return &Link{eng: eng, RateBps: rateBps, Delay: delay, QueueBytes: queueBytes, dst: dst}
+}
+
+// SetDestination rewires the link's receiving end.
+func (l *Link) SetDestination(dst Handler) { l.dst = dst }
+
+// QueuedBytes returns the bytes currently waiting in the queue (not
+// counting the packet in transmission).
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// HandlePacket lets links be chained after other links or radios.
+func (l *Link) HandlePacket(now time.Duration, p *Packet) { l.Send(p) }
+
+// Send enqueues a packet for transmission, dropping it if the queue is
+// full.
+func (l *Link) Send(p *Packet) {
+	if l.RateBps <= 0 {
+		// Pure-delay link: no queueing.
+		l.Delivered++
+		l.SentBytes += uint64(p.Size)
+		l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
+		return
+	}
+	if l.QueueBytes > 0 && l.queuedBytes+p.Size > l.QueueBytes {
+		l.Drops++
+		l.DropsBytes += uint64(p.Size)
+		return
+	}
+	l.queue = append(l.queue, p)
+	l.queuedBytes += p.Size
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	l.queuedBytes -= p.Size
+
+	txTime := time.Duration(float64(p.Size*8) / l.RateBps * float64(time.Second))
+	l.eng.Schedule(txTime, func() {
+		l.Delivered++
+		l.SentBytes += uint64(p.Size)
+		l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
+		l.transmitNext()
+	})
+}
+
+// Sink counts delivered packets and optionally forwards them to a callback,
+// for tests and simple receivers.
+type Sink struct {
+	Count uint64
+	Bytes uint64
+	Fn    func(now time.Duration, p *Packet)
+}
+
+// HandlePacket implements Handler.
+func (s *Sink) HandlePacket(now time.Duration, p *Packet) {
+	s.Count++
+	s.Bytes += uint64(p.Size)
+	if s.Fn != nil {
+		s.Fn(now, p)
+	}
+}
+
+// CrossTraffic injects fixed-rate packets into a destination, modeling
+// competing load (the controlled competition of §6.3.3 or background flows
+// sharing an Internet bottleneck).
+type CrossTraffic struct {
+	eng     *sim.Engine
+	dst     Handler
+	rateBps float64
+	flowID  int
+	seq     uint64
+	ticker  *sim.Ticker
+}
+
+// NewCrossTraffic returns a stopped cross-traffic source; call Start.
+func NewCrossTraffic(eng *sim.Engine, dst Handler, rateBps float64, flowID int) *CrossTraffic {
+	return &CrossTraffic{eng: eng, dst: dst, rateBps: rateBps, flowID: flowID}
+}
+
+// Start begins emitting MSS-sized packets at the configured rate.
+func (c *CrossTraffic) Start() {
+	if c.ticker != nil || c.rateBps <= 0 {
+		return
+	}
+	interval := time.Duration(float64(MSS*8) / c.rateBps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	c.ticker = c.eng.Every(interval, func() {
+		c.seq++
+		c.dst.HandlePacket(c.eng.Now(), &Packet{
+			FlowID: c.flowID,
+			Seq:    c.seq,
+			Size:   MSS,
+			SentAt: c.eng.Now(),
+		})
+	})
+}
+
+// Stop halts the source; it can be restarted.
+func (c *CrossTraffic) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}

@@ -1,0 +1,56 @@
+// Package netsim models the wired part of an end-to-end path on the
+// discrete-event engine: links with finite rate, propagation delay and
+// drop-tail queues, plus simple traffic sources and sinks. The cellular
+// last hop is modeled separately by package lte; netsim carries packets
+// between content servers and cell towers and carries acknowledgements
+// back.
+package netsim
+
+import "time"
+
+// MSS is the maximum segment size used by all senders, matching the
+// 1500-byte packets of the paper's prototype.
+const MSS = 1500
+
+// Packet is one simulated datagram. Data packets flow server->mobile;
+// acknowledgement packets carry receiver state back, including PBE-CC's
+// capacity feedback.
+type Packet struct {
+	FlowID int
+	Seq    uint64
+	Size   int // bytes on the wire
+
+	SentAt time.Duration // sender transmit timestamp (virtual time)
+
+	IsAck bool
+	Ack   AckInfo
+
+	// Retransmitted marks loss-recovery transmissions.
+	Retransmitted bool
+}
+
+// AckInfo is the acknowledgement payload: which data packet is being
+// acknowledged, its timestamps, and the PBE-CC feedback fields (§5: the
+// capacity is described as an interval between 1500-byte packets; here it
+// is carried in bits per second, plus the one-bit bottleneck state).
+type AckInfo struct {
+	AckSeq     uint64        // sequence of the data packet being acked
+	DataSentAt time.Duration // echo of the data packet's SentAt
+	ReceivedAt time.Duration // when the receiver got the data packet
+	DataSize   int           // bytes of the acked data packet
+
+	// PBE-CC feedback (zero for other schemes).
+	FeedbackRate       float64 // target transport-layer rate, bits/sec; 0 = none
+	InternetBottleneck bool    // receiver-detected bottleneck state bit
+}
+
+// Handler consumes packets delivered by a link or radio.
+type Handler interface {
+	HandlePacket(now time.Duration, p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(now time.Duration, p *Packet)
+
+// HandlePacket calls f.
+func (f HandlerFunc) HandlePacket(now time.Duration, p *Packet) { f(now, p) }

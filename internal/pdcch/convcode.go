@@ -1,0 +1,154 @@
+package pdcch
+
+import "math"
+
+// LTE control channels use a rate-1/3 tail-biting convolutional code with
+// constraint length 7 (64 states) and generator polynomials 133, 171, 165
+// (octal). Tail-biting means the encoder's initial shift-register state is
+// the last six input bits, so the trellis is circular and no tail bits are
+// transmitted.
+
+const (
+	convK      = 7  // constraint length
+	convStates = 64 // 2^(K-1)
+	convRate   = 3  // output bits per input bit
+)
+
+// Generator polynomials, one bit per tap over [s_in, s1..s6].
+var convGen = [convRate]uint32{0o133, 0o171, 0o165}
+
+// parity32 returns the parity of x.
+func parity32(x uint32) uint8 {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint8(x & 1)
+}
+
+// convOutputs[state][input] packs the 3 output bits produced when the
+// encoder in `state` consumes `input`.
+var convOutputs [convStates][2]uint8
+
+// convNext[state][input] is the successor state.
+var convNext [convStates][2]uint8
+
+func init() {
+	for s := 0; s < convStates; s++ {
+		for in := 0; in < 2; in++ {
+			// Register layout: bit6 = newest input, bits5..0 = state
+			// (state bit5 is the most recent past input).
+			reg := uint32(in)<<6 | uint32(s)
+			var out uint8
+			for g := 0; g < convRate; g++ {
+				out = out<<1 | parity32(reg&convGen[g])
+			}
+			convOutputs[s][in] = out
+			convNext[s][in] = uint8((s >> 1) | in<<5)
+		}
+	}
+}
+
+// encodeConv tail-biting-encodes the block, producing 3*len(in) bits in the
+// order d0[0] d1[0] d2[0] d0[1] ... (bit-interleaved streams).
+func encodeConv(in Bits) Bits {
+	n := len(in)
+	out := make(Bits, 0, convRate*n)
+	// Tail-biting initialization: state = last 6 input bits, with in[n-1]
+	// as the most recently shifted-in bit.
+	var state uint8
+	for i := n - convK + 1; i < n; i++ {
+		state = state>>1 | in[i]<<5
+	}
+	for i := 0; i < n; i++ {
+		b := in[i]
+		o := convOutputs[state][b]
+		out = append(out, (o>>2)&1, (o>>1)&1, o&1)
+		state = convNext[state][b]
+	}
+	return out
+}
+
+// viterbiTailBiting decodes 3n soft LLRs (positive = bit 0 more likely)
+// into the most likely n-bit tail-biting codeword. It uses the wrap-around
+// Viterbi algorithm: the trellis is processed twice with carried-over path
+// metrics and the traceback taken from the second pass, which is a
+// near-maximum-likelihood standard for short TBCC blocks.
+func viterbiTailBiting(llr []float64, n int) Bits {
+	if len(llr) != convRate*n || n == 0 {
+		return nil
+	}
+	// branchMetric computes the correlation metric of the 3 coded bits at
+	// step i against their LLRs (higher is better).
+	branch := func(i int, out uint8) float64 {
+		var m float64
+		for g := 0; g < convRate; g++ {
+			bit := (out >> uint(convRate-1-g)) & 1
+			if bit == 0 {
+				m += llr[convRate*i+g]
+			} else {
+				m -= llr[convRate*i+g]
+			}
+		}
+		return m
+	}
+
+	const passes = 2
+	metric := make([]float64, convStates) // all-zero init: every start state allowed
+	next := make([]float64, convStates)
+	// decisions[p*n+i][s] = input bit chosen entering state s at step i of pass p.
+	decisions := make([][convStates]uint8, passes*n)
+
+	for p := 0; p < passes; p++ {
+		for i := 0; i < n; i++ {
+			for s := range next {
+				next[s] = math.Inf(-1)
+			}
+			for s := 0; s < convStates; s++ {
+				if math.IsInf(metric[s], -1) {
+					continue
+				}
+				for in := uint8(0); in < 2; in++ {
+					ns := convNext[s][in]
+					m := metric[s] + branch(i, convOutputs[s][in])
+					if m > next[ns] {
+						next[ns] = m
+						decisions[p*n+i][ns] = in<<7 | uint8(s) // pack input and predecessor
+					}
+				}
+			}
+			metric, next = next, metric
+		}
+	}
+
+	// Traceback from the best final state through the last pass.
+	best := 0
+	for s := 1; s < convStates; s++ {
+		if metric[s] > metric[best] {
+			best = s
+		}
+	}
+	out := make(Bits, n)
+	state := best
+	for i := n - 1; i >= 0; i-- {
+		d := decisions[(passes-1)*n+i][state]
+		out[i] = d >> 7
+		state = int(d & 0x3f)
+	}
+	return out
+}
+
+// hardLLR converts hard bits to confident LLRs (bit 0 -> +1, bit 1 -> -1),
+// for loopback testing and re-encoding checks.
+func hardLLR(bits Bits) []float64 {
+	llr := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			llr[i] = 1
+		} else {
+			llr[i] = -1
+		}
+	}
+	return llr
+}

@@ -1,0 +1,53 @@
+package pdcch
+
+// LTE attaches a 16-bit CRC (generator gCRC16, x^16 + x^12 + x^5 + 1,
+// i.e. the CCITT polynomial 0x1021) to each DCI payload and scrambles the
+// CRC with the target user's RNTI. A receiver that blind-decodes a
+// candidate can therefore recover the RNTI of *any* user by XORing the
+// recomputed CRC with the received one — the mechanism OWL and PBE-CC's
+// monitor rely on to observe other users' allocations.
+
+const crcPoly = 0x1021
+
+// crc16 computes the 16-bit CRC of the given bits with zero initial state,
+// processing one bit at a time (the payloads are tens of bits, so a table
+// is unnecessary).
+func crc16(payload Bits) uint16 {
+	var reg uint16
+	for _, bit := range payload {
+		fb := (reg>>15)&1 ^ uint16(bit)
+		reg <<= 1
+		if fb != 0 {
+			reg ^= crcPoly
+		}
+	}
+	return reg
+}
+
+// attachCRC appends the payload's CRC, XOR-scrambled with rnti, producing
+// the coded block input.
+func attachCRC(payload Bits, rnti uint16) Bits {
+	out := make(Bits, 0, len(payload)+16)
+	out = append(out, payload...)
+	out = appendUint(out, uint32(crc16(payload)^rnti), 16)
+	return out
+}
+
+// recoverRNTI splits a decoded block into payload and the RNTI implied by
+// its scrambled CRC. Any 16-bit pattern yields *some* RNTI; callers must
+// validate the candidate (e.g. by re-encoding) before trusting it.
+func recoverRNTI(block Bits) (payload Bits, rnti uint16, ok bool) {
+	if len(block) < 17 {
+		return nil, 0, false
+	}
+	payload = block[:len(block)-16]
+	rx, _ := readUint(block, len(block)-16, 16)
+	return payload, uint16(rx) ^ crc16(payload), true
+}
+
+// checkCRC reports whether block carries a CRC scrambled with exactly rnti.
+func checkCRC(block Bits, rnti uint16) bool {
+	payload, got, ok := recoverRNTI(block)
+	_ = payload
+	return ok && got == rnti
+}

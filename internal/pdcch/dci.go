@@ -1,0 +1,333 @@
+package pdcch
+
+import "fmt"
+
+// Downlink control information (DCI) messages carry, per subframe and per
+// user, exactly the metadata PBE-CC's monitor needs: which PRBs are
+// allocated, at what modulation and coding scheme, over how many spatial
+// streams, and whether the transport block is new or a retransmission (the
+// new-data indicator).
+
+// Format identifies the DCI format. The base station does not signal the
+// format; the blind decoder infers it from payload size plus the
+// format-0/1A flag bit, as real UEs do.
+type Format uint8
+
+// Supported DCI formats.
+const (
+	Format0  Format = iota // uplink grant (same payload size as 1A)
+	Format1A               // compact downlink, contiguous allocation (RIV)
+	Format1                // downlink, RBG-bitmap allocation, one stream
+	Format2                // downlink MIMO, RBG bitmap, two transport blocks
+)
+
+// String returns the conventional name of the format.
+func (f Format) String() string {
+	switch f {
+	case Format0:
+		return "0"
+	case Format1A:
+		return "1A"
+	case Format1:
+		return "1"
+	case Format2:
+		return "2"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// DCI is one decoded control message.
+type DCI struct {
+	RNTI   uint16
+	Format Format
+
+	// Allocation: Format1/Format2 use an RBG bitmap (bit i = RBG i,
+	// LSB = RBG 0); Format0/Format1A use a contiguous allocation coded
+	// as a resource indication value.
+	RBGBitmap uint32
+	RIVStart  int // first PRB (formats 0/1A)
+	RIVLen    int // number of PRBs (formats 0/1A)
+
+	MCS  uint8 // 5 bits
+	HARQ uint8 // 3 bits
+	NDI  bool  // new-data indicator
+	RV   uint8 // 2 bits
+	TPC  uint8 // 2 bits
+
+	// Second transport block (Format2 only).
+	MCS2    uint8
+	NDI2    bool
+	RV2     uint8
+	Precode uint8 // 3 bits, >0 implies two spatial streams in this model
+}
+
+// Streams returns the number of spatial streams the DCI grants.
+func (d *DCI) Streams() int {
+	if d.Format == Format2 && d.Precode > 0 {
+		return 2
+	}
+	return 1
+}
+
+// Bandwidth describes the cell bandwidth parameters that determine DCI
+// payload sizes.
+type Bandwidth struct {
+	NPRB int // number of PRBs (25, 50, 75, 100)
+}
+
+// RBGSize returns the resource block group size P per TS 36.213 Table
+// 7.1.6.1-1.
+func (bw Bandwidth) RBGSize() int {
+	switch {
+	case bw.NPRB <= 10:
+		return 1
+	case bw.NPRB <= 26:
+		return 2
+	case bw.NPRB <= 63:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// NumRBGs returns the number of resource block groups.
+func (bw Bandwidth) NumRBGs() int {
+	p := bw.RBGSize()
+	return (bw.NPRB + p - 1) / p
+}
+
+// PRBsInRBG returns the number of PRBs in RBG i (the last group may be
+// smaller than P).
+func (bw Bandwidth) PRBsInRBG(i int) int {
+	p := bw.RBGSize()
+	if i == bw.NumRBGs()-1 {
+		if rem := bw.NPRB % p; rem != 0 {
+			return rem
+		}
+	}
+	return p
+}
+
+// rivBits returns the bit width of the resource indication value field.
+func (bw Bandwidth) rivBits() int {
+	maxRIV := bw.NPRB * (bw.NPRB + 1) / 2
+	n := 0
+	for (1 << n) < maxRIV {
+		n++
+	}
+	return n
+}
+
+// PayloadBits returns the DCI payload size (before CRC) of a format at
+// this bandwidth. Formats 0 and 1A share a size by design.
+func (bw Bandwidth) PayloadBits(f Format) int {
+	switch f {
+	case Format0, Format1A:
+		// flag(1) + RIV + MCS(5) + HARQ(3) + NDI(1) + RV(2) + TPC(2)
+		return 1 + bw.rivBits() + 13
+	case Format1:
+		// bitmap + MCS(5) + HARQ(3) + NDI(1) + RV(2) + TPC(2)
+		return bw.NumRBGs() + 13
+	case Format2:
+		// bitmap + 2x(MCS(5)+NDI(1)+RV(2)) + precode(3) + HARQ(3) + TPC(2)
+		return bw.NumRBGs() + 16 + 8
+	}
+	return 0
+}
+
+// PayloadSizes returns the distinct payload sizes a blind decoder must try
+// at this bandwidth, smallest first.
+func (bw Bandwidth) PayloadSizes() []int {
+	sizes := []int{
+		bw.PayloadBits(Format1A),
+		bw.PayloadBits(Format1),
+		bw.PayloadBits(Format2),
+	}
+	// Deduplicate while preserving order (sizes are increasing here).
+	out := sizes[:1]
+	for _, s := range sizes[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EncodeRIV codes a contiguous allocation of length l starting at PRB s
+// into a resource indication value (TS 36.213 §7.1.6.3).
+func EncodeRIV(nPRB, start, length int) uint32 {
+	if length-1 <= nPRB/2 {
+		return uint32(nPRB*(length-1) + start)
+	}
+	return uint32(nPRB*(nPRB-length+1) + (nPRB - 1 - start))
+}
+
+// DecodeRIV inverts EncodeRIV, returning start and length. It reports
+// ok=false for values that do not correspond to a valid allocation.
+func DecodeRIV(nPRB int, riv uint32) (start, length int, ok bool) {
+	v := int(riv)
+	l := v/nPRB + 1
+	s := v % nPRB
+	if l-1 <= nPRB/2 && s+l <= nPRB {
+		return s, l, true
+	}
+	// Inverted branch.
+	l = nPRB - (v/nPRB - 1)
+	s = nPRB - 1 - v%nPRB
+	if l >= 1 && s >= 0 && s+l <= nPRB {
+		return s, l, true
+	}
+	return 0, 0, false
+}
+
+// AllocatedPRBs returns the number of PRBs the DCI grants at the given
+// bandwidth.
+func (d *DCI) AllocatedPRBs(bw Bandwidth) int {
+	switch d.Format {
+	case Format1, Format2:
+		n := 0
+		for i := 0; i < bw.NumRBGs(); i++ {
+			if d.RBGBitmap&(1<<uint(i)) != 0 {
+				n += bw.PRBsInRBG(i)
+			}
+		}
+		return n
+	case Format1A:
+		return d.RIVLen
+	}
+	return 0 // uplink grants do not consume downlink PRBs
+}
+
+// Pack serializes the DCI payload (without CRC) for its format at the
+// given bandwidth.
+func (d *DCI) Pack(bw Bandwidth) Bits {
+	var b Bits
+	switch d.Format {
+	case Format0, Format1A:
+		flag := uint32(0) // 0 = format 0
+		if d.Format == Format1A {
+			flag = 1
+		}
+		b = appendUint(b, flag, 1)
+		b = appendUint(b, EncodeRIV(bw.NPRB, d.RIVStart, d.RIVLen), bw.rivBits())
+		b = appendUint(b, uint32(d.MCS), 5)
+		b = appendUint(b, uint32(d.HARQ), 3)
+		b = appendUint(b, boolBit(d.NDI), 1)
+		b = appendUint(b, uint32(d.RV), 2)
+		b = appendUint(b, uint32(d.TPC), 2)
+	case Format1:
+		b = appendUint(b, d.RBGBitmap, bw.NumRBGs())
+		b = appendUint(b, uint32(d.MCS), 5)
+		b = appendUint(b, uint32(d.HARQ), 3)
+		b = appendUint(b, boolBit(d.NDI), 1)
+		b = appendUint(b, uint32(d.RV), 2)
+		b = appendUint(b, uint32(d.TPC), 2)
+	case Format2:
+		b = appendUint(b, d.RBGBitmap, bw.NumRBGs())
+		b = appendUint(b, uint32(d.MCS), 5)
+		b = appendUint(b, boolBit(d.NDI), 1)
+		b = appendUint(b, uint32(d.RV), 2)
+		b = appendUint(b, uint32(d.MCS2), 5)
+		b = appendUint(b, boolBit(d.NDI2), 1)
+		b = appendUint(b, uint32(d.RV2), 2)
+		b = appendUint(b, uint32(d.Precode), 3)
+		b = appendUint(b, uint32(d.HARQ), 3)
+		b = appendUint(b, uint32(d.TPC), 2)
+	}
+	return b
+}
+
+// UnpackDCI parses a payload of the given size, inferring the format from
+// the size and (for the shared 0/1A size) the flag bit. It reports ok=false
+// if the size matches no format or the contents are invalid.
+func UnpackDCI(payload Bits, bw Bandwidth) (DCI, bool) {
+	var d DCI
+	switch len(payload) {
+	case bw.PayloadBits(Format1A):
+		off := 0
+		var flag, riv, v uint32
+		flag, off = readUint(payload, off, 1)
+		riv, off = readUint(payload, off, bw.rivBits())
+		start, length, ok := DecodeRIV(bw.NPRB, riv)
+		if !ok {
+			return d, false
+		}
+		d.RIVStart, d.RIVLen = start, length
+		if flag == 1 {
+			d.Format = Format1A
+		} else {
+			d.Format = Format0
+		}
+		v, off = readUint(payload, off, 5)
+		d.MCS = uint8(v)
+		v, off = readUint(payload, off, 3)
+		d.HARQ = uint8(v)
+		v, off = readUint(payload, off, 1)
+		d.NDI = v == 1
+		v, off = readUint(payload, off, 2)
+		d.RV = uint8(v)
+		v, _ = readUint(payload, off, 2)
+		d.TPC = uint8(v)
+		return d, true
+	case bw.PayloadBits(Format1):
+		d.Format = Format1
+		off := 0
+		var v uint32
+		v, off = readUint(payload, off, bw.NumRBGs())
+		d.RBGBitmap = v
+		v, off = readUint(payload, off, 5)
+		d.MCS = uint8(v)
+		v, off = readUint(payload, off, 3)
+		d.HARQ = uint8(v)
+		v, off = readUint(payload, off, 1)
+		d.NDI = v == 1
+		v, off = readUint(payload, off, 2)
+		d.RV = uint8(v)
+		v, _ = readUint(payload, off, 2)
+		d.TPC = uint8(v)
+		return d, true
+	case bw.PayloadBits(Format2):
+		d.Format = Format2
+		off := 0
+		var v uint32
+		v, off = readUint(payload, off, bw.NumRBGs())
+		d.RBGBitmap = v
+		v, off = readUint(payload, off, 5)
+		d.MCS = uint8(v)
+		v, off = readUint(payload, off, 1)
+		d.NDI = v == 1
+		v, off = readUint(payload, off, 2)
+		d.RV = uint8(v)
+		v, off = readUint(payload, off, 5)
+		d.MCS2 = uint8(v)
+		v, off = readUint(payload, off, 1)
+		d.NDI2 = v == 1
+		v, off = readUint(payload, off, 2)
+		d.RV2 = uint8(v)
+		v, off = readUint(payload, off, 3)
+		d.Precode = uint8(v)
+		v, off = readUint(payload, off, 3)
+		d.HARQ = uint8(v)
+		v, _ = readUint(payload, off, 2)
+		d.TPC = uint8(v)
+		return d, true
+	}
+	return d, false
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ContiguousRBGBitmap builds an RBG bitmap covering n RBGs starting at
+// RBG index start.
+func ContiguousRBGBitmap(start, n int) uint32 {
+	var m uint32
+	for i := 0; i < n; i++ {
+		m |= 1 << uint(start+i)
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+package pdcch
+
+import "sort"
+
+// Message fusion aligns the control messages decoded from multiple
+// component carriers by subframe index, the role of the paper's Message
+// Fusion module (Figure 10a): one decoder instance runs per aggregated
+// cell, and the congestion-control monitor consumes a single time-aligned
+// stream.
+
+// CellMessages is the decoded control channel of one cell in one subframe.
+type CellMessages struct {
+	CellID   int
+	Subframe int
+	Messages []Decoded
+}
+
+// FusedSubframe groups the decoded messages of all aggregated cells for
+// one subframe index.
+type FusedSubframe struct {
+	Subframe int
+	Cells    []CellMessages // sorted by CellID
+}
+
+// Fusion buffers per-cell decoder output until every registered cell has
+// reported a subframe, then releases the aligned result in subframe order.
+type Fusion struct {
+	cellIDs map[int]bool
+	pending map[int]map[int]CellMessages // subframe -> cellID -> messages
+	next    int
+	started bool
+}
+
+// NewFusion returns a fusion stage expecting reports from the given cells.
+func NewFusion(cellIDs ...int) *Fusion {
+	f := &Fusion{
+		cellIDs: make(map[int]bool, len(cellIDs)),
+		pending: make(map[int]map[int]CellMessages),
+	}
+	for _, id := range cellIDs {
+		f.cellIDs[id] = true
+	}
+	return f
+}
+
+// Push adds one cell's decoded subframe and returns any subframes that
+// became complete and in-order as a result (usually zero or one).
+func (f *Fusion) Push(m CellMessages) []FusedSubframe {
+	if !f.cellIDs[m.CellID] {
+		return nil
+	}
+	if !f.started {
+		// Decoders may come up mid-stream: align on the first subframe
+		// index observed.
+		f.next = m.Subframe
+		f.started = true
+	}
+	if m.Subframe < f.next {
+		return nil
+	}
+	byCell, ok := f.pending[m.Subframe]
+	if !ok {
+		byCell = make(map[int]CellMessages, len(f.cellIDs))
+		f.pending[m.Subframe] = byCell
+	}
+	byCell[m.CellID] = m
+
+	var out []FusedSubframe
+	for {
+		byCell, ok := f.pending[f.next]
+		if !ok || len(byCell) < len(f.cellIDs) {
+			break
+		}
+		fs := FusedSubframe{Subframe: f.next}
+		for _, cm := range byCell {
+			fs.Cells = append(fs.Cells, cm)
+		}
+		sort.Slice(fs.Cells, func(i, j int) bool { return fs.Cells[i].CellID < fs.Cells[j].CellID })
+		out = append(out, fs)
+		delete(f.pending, f.next)
+		f.next++
+	}
+	return out
+}
+
+// PendingSubframes returns how many incomplete subframes are buffered.
+func (f *Fusion) PendingSubframes() int { return len(f.pending) }

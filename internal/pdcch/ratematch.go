@@ -1,0 +1,101 @@
+package pdcch
+
+// Rate matching for convolutionally coded control channels (TS 36.212
+// §5.1.4.2): each of the three coded-bit streams passes through a sub-block
+// interleaver with 32 columns and a fixed column permutation; the three
+// interleaved streams are concatenated into a circular buffer from which
+// exactly E output bits are read, skipping <NULL> padding and wrapping as
+// needed (repetition when E exceeds the buffer, puncturing when it is
+// smaller).
+
+// subBlockColumns is the interleaver width.
+const subBlockColumns = 32
+
+// columnPermutation is the inter-column permutation pattern for the
+// convolutional-code sub-block interleaver.
+var columnPermutation = [subBlockColumns]int{
+	1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31,
+	0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30,
+}
+
+// interleaveIndices returns, for a stream of length d, the read order of
+// the sub-block interleaver as indices into the stream; -1 marks <NULL>
+// padding positions.
+func interleaveIndices(d int) []int {
+	rows := (d + subBlockColumns - 1) / subBlockColumns
+	pad := rows*subBlockColumns - d
+	out := make([]int, 0, rows*subBlockColumns)
+	for _, col := range columnPermutation {
+		for r := 0; r < rows; r++ {
+			pos := r*subBlockColumns + col // position in padded matrix, row-major write
+			idx := pos - pad               // original stream index
+			if idx < 0 {
+				out = append(out, -1)
+			} else {
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+// circularBufferIndices returns the indices (into the 3*d coded bits, in
+// stream-major order d0|d1|d2) of the e rate-matched output bits.
+func circularBufferIndices(d, e int) []int {
+	per := interleaveIndices(d)
+	buf := make([]int, 0, 3*len(per))
+	for s := 0; s < convRate; s++ {
+		for _, idx := range per {
+			if idx < 0 {
+				buf = append(buf, -1)
+			} else {
+				buf = append(buf, s*d+idx)
+			}
+		}
+	}
+	out := make([]int, 0, e)
+	for k := 0; len(out) < e; k++ {
+		v := buf[k%len(buf)]
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rateMatch maps 3*d coded bits (bit-interleaved d0[0] d1[0] d2[0] d0[1]...)
+// onto exactly e transmitted bits.
+func rateMatch(coded Bits, e int) Bits {
+	d := len(coded) / convRate
+	// Convert to stream-major order for the circular buffer.
+	streams := make(Bits, convRate*d)
+	for i := 0; i < d; i++ {
+		for s := 0; s < convRate; s++ {
+			streams[s*d+i] = coded[convRate*i+s]
+		}
+	}
+	idx := circularBufferIndices(d, e)
+	out := make(Bits, e)
+	for k, v := range idx {
+		out[k] = streams[v]
+	}
+	return out
+}
+
+// deRateMatch accumulates e received LLRs back into 3*d coded-bit positions
+// (bit-interleaved order), combining repeated transmissions and leaving
+// punctured positions at zero (erasure).
+func deRateMatch(llr []float64, d int) []float64 {
+	streams := make([]float64, convRate*d)
+	idx := circularBufferIndices(d, len(llr))
+	for k, v := range idx {
+		streams[v] += llr[k]
+	}
+	out := make([]float64, convRate*d)
+	for i := 0; i < d; i++ {
+		for s := 0; s < convRate; s++ {
+			out[convRate*i+s] = streams[s*d+i]
+		}
+	}
+	return out
+}

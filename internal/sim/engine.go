@@ -1,0 +1,222 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated subsystems (cellular MAC, wired links, congestion-control
+// senders) schedule callbacks on a shared virtual clock. Events scheduled for
+// the same instant run in scheduling order, which together with seeded
+// randomness makes every simulation run exactly reproducible.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event's callback from running. Cancelling an event
+// that already fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.cancelled = true
+		ev.fn = nil
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// At returns the virtual time the event fires at.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Engine is a discrete-event simulator with a virtual clock.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. It returns the event so the caller may cancel it.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. If t is in the past the event fires
+// at the current time (events never run backwards).
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.queue.push(ev)
+	return ev
+}
+
+// Stop makes Run and RunUntil return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t. It returns early if Stop is called.
+func (e *Engine) RunUntil(t time.Duration) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= t {
+		e.step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// step pops and executes the earliest event.
+func (e *Engine) step() {
+	ev := e.queue.pop()
+	if ev.cancelled {
+		return
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+}
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Ticker fires a callback at a fixed virtual-time interval until stopped.
+type Ticker struct {
+	engine   *Engine
+	interval time.Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Every schedules fn to run every interval, with the first firing one
+// interval from now. The interval must be positive.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings of the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	ev.index = len(*h) - 1
+	h.up(ev.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	old := *h
+	ev := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[0].index = 0
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Schedule(5*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != 5*time.Millisecond {
+		t.Fatalf("Now inside event = %v, want 5ms", at)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("Now after run = %v, want 5ms", e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event with negative delay did not fire")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestAtPastClamped(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Schedule(10*time.Millisecond, func() {
+		e.At(time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past event ran at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(2*time.Millisecond, func() { fired = true })
+	e.Schedule(time.Millisecond, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Every(time.Millisecond, func() { count++ })
+	e.RunUntil(10 * time.Millisecond)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v, want 10ms", e.Now())
+	}
+	e.RunUntil(15 * time.Millisecond)
+	if count != 15 {
+		t.Fatalf("ticks after resume = %d, want 15", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New(1)
+	e.RunUntil(time.Second)
+	if e.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Every(time.Millisecond, func() {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+	})
+	e.RunUntil(time.Second)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5 (stopped)", count)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(time.Second)
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestEveryPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		e := New(seed)
+		var got []int
+		for i := 0; i < 100; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+			v := i
+			e.Schedule(d, func() { got = append(got, v) })
+		}
+		e.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHeapProperty checks via testing/quick that events pop in
+// non-decreasing time order regardless of insertion order.
+func TestHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Millisecond, func() {})
+	e.Schedule(2*time.Millisecond, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d, want 0", e.Pending())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

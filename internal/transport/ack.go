@@ -1,0 +1,30 @@
+package transport
+
+import (
+	"time"
+
+	"pbecc/internal/cc"
+	"pbecc/internal/core"
+)
+
+// ccAck converts a wire acknowledgement into the controller's sample
+// format. Delivery-rate sampling over real sockets uses the acked bytes
+// per smoothed RTT as a coarse estimate.
+func ccAck(now time.Duration, a Ack, rec sentRec, rtt, srtt time.Duration, inflight int) cc.AckSample {
+	var rate float64
+	if srtt > 0 {
+		rate = float64(rec.bytes*8) / srtt.Seconds() * float64(inflight/rec.bytes+1)
+	}
+	return cc.AckSample{
+		Now:                now,
+		Seq:                a.AckSeq,
+		AckedBytes:         rec.bytes,
+		RTT:                rtt,
+		SRTT:               srtt,
+		OneWayDelay:        time.Duration(a.ReceivedNanos - a.DataSentNanos),
+		DeliveryRate:       rate,
+		InflightBytes:      inflight,
+		FeedbackRate:       core.DecodeRate(a.RateWord),
+		InternetBottleneck: a.InternetBottleneck,
+	}
+}

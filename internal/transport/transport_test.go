@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDataWireRoundTrip(t *testing.T) {
+	f := func(seq uint64, nanos int64, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		buf := make([]byte, 2048)
+		n, err := MarshalData(buf, DataHeader{Seq: seq, SentNanos: nanos}, payload)
+		if err != nil {
+			return false
+		}
+		h, p, err := UnmarshalData(buf[:n])
+		if err != nil || h.Seq != seq || h.SentNanos != nanos || len(p) != len(payload) {
+			return false
+		}
+		for i := range p {
+			if p[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAckWireRoundTrip(t *testing.T) {
+	f := func(seq uint64, sent, recv int64, rate uint32, state bool) bool {
+		buf := make([]byte, AckLen)
+		a := Ack{AckSeq: seq, DataSentNanos: sent, ReceivedNanos: recv,
+			RateWord: rate, InternetBottleneck: state}
+		n, err := MarshalAck(buf, a)
+		if err != nil || n != AckLen {
+			return false
+		}
+		got, err := UnmarshalAck(buf)
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	if _, _, err := UnmarshalData(make([]byte, 3)); err != ErrShortPacket {
+		t.Fatalf("short data err = %v", err)
+	}
+	if _, err := UnmarshalAck(make([]byte, 3)); err != ErrShortPacket {
+		t.Fatalf("short ack err = %v", err)
+	}
+	bad := make([]byte, 64)
+	bad[0] = 0x7F
+	if _, _, err := UnmarshalData(bad); err != ErrBadType {
+		t.Fatalf("bad data type err = %v", err)
+	}
+	if _, err := UnmarshalAck(bad); err != ErrBadType {
+		t.Fatalf("bad ack type err = %v", err)
+	}
+	if _, err := MarshalAck(make([]byte, 4), Ack{}); err != ErrShortPacket {
+		t.Fatal("marshal into short buffer must fail")
+	}
+	if _, err := MarshalData(make([]byte, 4), DataHeader{}, make([]byte, 100)); err != ErrShortPacket {
+		t.Fatal("marshal data into short buffer must fail")
+	}
+	// Truncated payload length.
+	buf := make([]byte, 2048)
+	n, _ := MarshalData(buf, DataHeader{Seq: 1, SentNanos: 2}, make([]byte, 500))
+	if _, _, err := UnmarshalData(buf[:n-10]); err != ErrShortPacket {
+		t.Fatal("truncated payload must fail")
+	}
+}
+
+// TestLoopbackEndToEnd runs the full real-socket path for a short burst:
+// sender -> relay (shaped to 20 Mbit/s) -> client -> acks -> sender.
+func TestLoopbackEndToEnd(t *testing.T) {
+	client, err := NewUDPClient(func() float64 { return 20e6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	relay, err := NewRelay(20e6, 256*1024, client.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	sender, err := NewUDPSender(relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 700*time.Millisecond)
+	defer cancel()
+	go client.Run(ctx)
+	go sender.Run(ctx)
+	<-ctx.Done()
+	time.Sleep(50 * time.Millisecond)
+
+	cs := client.Stats()
+	ss := sender.Stats()
+	if cs.Received == 0 {
+		t.Fatal("client received nothing over loopback")
+	}
+	if ss.Acked == 0 {
+		t.Fatal("sender saw no acknowledgements")
+	}
+	// The controller must have picked up the capacity feedback.
+	if sender.Target() <= 0 {
+		t.Fatal("PBE controller never received capacity feedback")
+	}
+}
+
+func TestRelayRateChange(t *testing.T) {
+	dst, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	relay, err := NewRelay(10e6, 64*1024, dst.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	if relay.Rate() != 10e6 {
+		t.Fatal("initial rate")
+	}
+	relay.SetRate(40e6)
+	if relay.Rate() != 40e6 {
+		t.Fatal("rate change not applied")
+	}
+}

@@ -1,0 +1,382 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"pbecc/internal/core"
+)
+
+// This file provides the real-socket path: a PBE-CC sender and mobile
+// client speaking the wire format over net.UDPConn, plus a rate-shaped
+// relay standing in for the cellular bottleneck. The relay publishes its
+// current rate to the client the way the PDCCH monitor would (the client
+// of the paper learns capacity from decoded control messages; over
+// loopback there is no radio, so the emulated link's rate plays that
+// role).
+
+// Relay forwards UDP datagrams from an ingress socket to a destination at
+// a shaped rate with a drop-tail queue, emulating the cellular link.
+type Relay struct {
+	mu    sync.Mutex
+	rate  float64 // bits/sec
+	queue [][]byte
+	bytes int
+	max   int
+
+	in   *net.UDPConn
+	out  *net.UDPConn
+	dst  *net.UDPAddr
+	stop context.CancelFunc
+	done chan struct{}
+
+	peerMu sync.Mutex
+	peer   *net.UDPAddr // last ingress sender, for the reverse (ack) path
+}
+
+// NewRelay creates a relay listening on a fresh loopback port, forwarding
+// to dst at rateBps with a queue of queueBytes.
+func NewRelay(rateBps float64, queueBytes int, dst *net.UDPAddr) (*Relay, error) {
+	in, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	out, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	r := &Relay{rate: rateBps, max: queueBytes, in: in, out: out, dst: dst,
+		done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.stop = cancel
+	go r.readLoop(ctx)
+	go r.drainLoop(ctx)
+	go r.reverseLoop(ctx)
+	return r, nil
+}
+
+// reverseLoop carries acknowledgements from the destination back to the
+// most recent ingress peer, unshaped (acks are tiny).
+func (r *Relay) reverseLoop(ctx context.Context) {
+	buf := make([]byte, 2048)
+	for ctx.Err() == nil {
+		r.out.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := r.out.Read(buf)
+		if err != nil {
+			continue
+		}
+		r.peerMu.Lock()
+		peer := r.peer
+		r.peerMu.Unlock()
+		if peer != nil {
+			r.in.WriteToUDP(buf[:n], peer)
+		}
+	}
+}
+
+// Addr returns the relay's ingress address.
+func (r *Relay) Addr() *net.UDPAddr { return r.in.LocalAddr().(*net.UDPAddr) }
+
+// SetRate changes the shaped rate (the capacity variation a cell shows).
+func (r *Relay) SetRate(bps float64) {
+	r.mu.Lock()
+	r.rate = bps
+	r.mu.Unlock()
+}
+
+// Rate returns the current shaped rate in bits/sec.
+func (r *Relay) Rate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rate
+}
+
+// Close stops the relay.
+func (r *Relay) Close() {
+	r.stop()
+	r.in.Close()
+	r.out.Close()
+	<-r.done
+}
+
+func (r *Relay) readLoop(ctx context.Context) {
+	buf := make([]byte, 2048)
+	for ctx.Err() == nil {
+		r.in.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := r.in.ReadFromUDP(buf)
+		if err != nil {
+			continue
+		}
+		r.peerMu.Lock()
+		r.peer = from
+		r.peerMu.Unlock()
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		r.mu.Lock()
+		if r.bytes+n <= r.max || r.max == 0 {
+			r.queue = append(r.queue, pkt)
+			r.bytes += n
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (r *Relay) drainLoop(ctx context.Context) {
+	defer close(r.done)
+	for ctx.Err() == nil {
+		r.mu.Lock()
+		var pkt []byte
+		rate := r.rate
+		if len(r.queue) > 0 {
+			pkt = r.queue[0]
+			r.queue = r.queue[1:]
+			r.bytes -= len(pkt)
+		}
+		r.mu.Unlock()
+		if pkt == nil {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		r.out.Write(pkt)
+		if rate > 0 {
+			time.Sleep(time.Duration(float64(len(pkt)*8) / rate * float64(time.Second)))
+		}
+	}
+}
+
+// ClientStats summarizes a UDP client run.
+type ClientStats struct {
+	Received  uint64
+	Bytes     uint64
+	MinOWD    time.Duration
+	LastState bool
+}
+
+// UDPClient is the mobile-side endpoint: it receives data packets,
+// estimates one-way delay, asks the capacity oracle for the current rate
+// (standing in for the PDCCH monitor), runs the bottleneck detector, and
+// returns acknowledgements.
+type UDPClient struct {
+	conn     *net.UDPConn
+	detector *core.Detector
+	capacity func() float64 // bits/sec
+	start    time.Time
+
+	mu    sync.Mutex
+	stats ClientStats
+}
+
+// NewUDPClient listens on a fresh loopback port. capacity supplies the
+// monitor's current transport-capacity estimate in bits/sec.
+func NewUDPClient(capacity func() float64) (*UDPClient, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return &UDPClient{conn: conn, detector: core.NewDetector(),
+		capacity: capacity, start: time.Now()}, nil
+}
+
+// Addr returns the client's listening address.
+func (c *UDPClient) Addr() *net.UDPAddr { return c.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of the client's counters.
+func (c *UDPClient) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close shuts the client socket.
+func (c *UDPClient) Close() { c.conn.Close() }
+
+// Run processes data packets until the context is cancelled, acking every
+// packet back to its source.
+func (c *UDPClient) Run(ctx context.Context) {
+	buf := make([]byte, 2048)
+	ackBuf := make([]byte, AckLen)
+	for ctx.Err() == nil {
+		c.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			continue
+		}
+		h, payload, err := UnmarshalData(buf[:n])
+		if err != nil {
+			continue
+		}
+		now := time.Since(c.start)
+		owd := now - time.Duration(h.SentNanos)
+		rate := c.capacity()
+		npkt := int(core.NpktSubframes * (rate / 1000) / (8 * 1500))
+		internet := c.detector.Observe(now, owd, npkt)
+
+		c.mu.Lock()
+		c.stats.Received++
+		c.stats.Bytes += uint64(len(payload)) + DataHeaderLen
+		if c.stats.MinOWD == 0 || owd < c.stats.MinOWD {
+			c.stats.MinOWD = owd
+		}
+		c.stats.LastState = internet
+		c.mu.Unlock()
+
+		ack := Ack{
+			AckSeq:             h.Seq,
+			DataSentNanos:      h.SentNanos,
+			ReceivedNanos:      int64(now),
+			RateWord:           core.EncodeRate(rate),
+			InternetBottleneck: internet,
+		}
+		an, _ := MarshalAck(ackBuf, ack)
+		c.conn.WriteToUDP(ackBuf[:an], from)
+	}
+}
+
+// SenderStats summarizes a UDP sender run.
+type SenderStats struct {
+	Sent  uint64
+	Acked uint64
+	Rate  float64 // last pacing rate
+}
+
+// UDPSender drives a core.Sender over a real socket: it paces MSS-sized
+// datagrams at the controller's rate, bounded by its window, and feeds
+// acknowledgements back into the controller. The controller itself is
+// single-threaded by contract (in the simulator it runs on the event
+// loop), so every access here is serialized through ctrlMu.
+type UDPSender struct {
+	conn  *net.UDPConn
+	ctrl  *core.Sender
+	start time.Time
+
+	ctrlMu sync.Mutex // serializes all ctrl method calls
+
+	mu       sync.Mutex
+	inflight map[uint64]sentRec
+	stats    SenderStats
+}
+
+type sentRec struct {
+	at    time.Duration
+	bytes int
+}
+
+// NewUDPSender dials the destination (typically a relay ingress).
+func NewUDPSender(dst *net.UDPAddr) (*UDPSender, error) {
+	conn, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPSender{conn: conn, ctrl: core.NewSender(), start: time.Now(),
+		inflight: make(map[uint64]sentRec)}, nil
+}
+
+// Controller exposes the PBE controller (for inspection). Callers must
+// not invoke its methods while Run is active.
+func (s *UDPSender) Controller() *core.Sender { return s.ctrl }
+
+// Target returns the controller's current feedback target (thread-safe).
+func (s *UDPSender) Target() float64 {
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
+	return s.ctrl.Target()
+}
+
+// Stats returns a snapshot of the sender's counters.
+func (s *UDPSender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close shuts the sender socket.
+func (s *UDPSender) Close() { s.conn.Close() }
+
+// Run transmits until the context is cancelled.
+func (s *UDPSender) Run(ctx context.Context) {
+	go s.ackLoop(ctx)
+	payload := make([]byte, 1500-DataHeaderLen)
+	buf := make([]byte, 1500)
+	var seq uint64
+	var srtt time.Duration
+	_ = srtt
+	for ctx.Err() == nil {
+		now := time.Since(s.start)
+		s.mu.Lock()
+		var inflightBytes int
+		for _, r := range s.inflight {
+			inflightBytes += r.bytes
+		}
+		s.mu.Unlock()
+
+		s.ctrlMu.Lock()
+		cwnd := s.ctrl.CWND()
+		s.ctrlMu.Unlock()
+		if inflightBytes+1500 > cwnd && inflightBytes > 0 {
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		seq++
+		n, _ := MarshalData(buf, DataHeader{Seq: seq, SentNanos: int64(now)}, payload)
+		s.mu.Lock()
+		s.inflight[seq] = sentRec{at: now, bytes: n}
+		s.stats.Sent++
+		s.mu.Unlock()
+		s.ctrlMu.Lock()
+		s.ctrl.OnSent(now, seq, n, inflightBytes+n)
+		rate := s.ctrl.PacingRate()
+		s.ctrlMu.Unlock()
+		s.conn.Write(buf[:n])
+		s.mu.Lock()
+		s.stats.Rate = rate
+		s.mu.Unlock()
+		if rate > 0 {
+			time.Sleep(time.Duration(float64(n*8) / rate * float64(time.Second)))
+		} else {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+func (s *UDPSender) ackLoop(ctx context.Context) {
+	buf := make([]byte, 256)
+	var srtt time.Duration
+	for ctx.Err() == nil {
+		s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		a, err := UnmarshalAck(buf[:n])
+		if err != nil {
+			continue
+		}
+		now := time.Since(s.start)
+		s.mu.Lock()
+		rec, ok := s.inflight[a.AckSeq]
+		if ok {
+			delete(s.inflight, a.AckSeq)
+			s.stats.Acked++
+		}
+		var inflightBytes int
+		for _, r := range s.inflight {
+			inflightBytes += r.bytes
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		rtt := now - rec.at
+		if srtt == 0 {
+			srtt = rtt
+		} else {
+			srtt = (7*srtt + rtt) / 8
+		}
+		s.ctrlMu.Lock()
+		s.ctrl.OnAck(ccAck(now, a, rec, rtt, srtt, inflightBytes))
+		s.ctrlMu.Unlock()
+	}
+}

@@ -1,0 +1,125 @@
+// Package transport implements PBE-CC's UDP wire protocol: the binary
+// data-packet and acknowledgement formats of the paper's user-space
+// prototype (§5), plus a runner that drives a PBE-CC sender and receiver
+// over real net.UDPConn sockets through a rate-shaped relay emulating the
+// cellular link. This is the deployable path: only content servers and
+// mobile clients need it, exactly as the paper argues.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// Packet type discriminators.
+const (
+	TypeData = 0x01
+	TypeAck  = 0x02
+)
+
+// DataHeaderLen is the wire size of a data packet header.
+const DataHeaderLen = 1 + 8 + 8 + 2 // type, seq, sentNanos, payloadLen
+
+// AckLen is the wire size of an acknowledgement.
+const AckLen = 1 + 8 + 8 + 8 + 4 + 1 // type, ackSeq, dataSent, recvNanos, rateWord, stateBit
+
+// DataHeader is the header of a PBE-CC data packet.
+type DataHeader struct {
+	Seq        uint64
+	SentNanos  int64 // sender clock, nanoseconds
+	PayloadLen uint16
+}
+
+// Ack is the acknowledgement the mobile client returns for every data
+// packet: echoed timestamps for RTT and one-way-delay estimation, the
+// 32-bit capacity feedback word (a packet interval in microseconds, §5),
+// and the one-bit bottleneck state.
+type Ack struct {
+	AckSeq             uint64
+	DataSentNanos      int64
+	ReceivedNanos      int64
+	RateWord           uint32
+	InternetBottleneck bool
+}
+
+// ErrShortPacket reports a buffer too small to parse.
+var ErrShortPacket = errors.New("transport: short packet")
+
+// ErrBadType reports an unexpected packet type byte.
+var ErrBadType = errors.New("transport: unexpected packet type")
+
+// MarshalData encodes a data header followed by payload into buf,
+// returning the total length. buf must have room for DataHeaderLen +
+// len(payload).
+func MarshalData(buf []byte, h DataHeader, payload []byte) (int, error) {
+	n := DataHeaderLen + len(payload)
+	if len(buf) < n {
+		return 0, ErrShortPacket
+	}
+	buf[0] = TypeData
+	binary.BigEndian.PutUint64(buf[1:], h.Seq)
+	binary.BigEndian.PutUint64(buf[9:], uint64(h.SentNanos))
+	binary.BigEndian.PutUint16(buf[17:], uint16(len(payload)))
+	copy(buf[DataHeaderLen:], payload)
+	return n, nil
+}
+
+// UnmarshalData parses a data packet, returning the header and payload
+// (aliasing buf).
+func UnmarshalData(buf []byte) (DataHeader, []byte, error) {
+	if len(buf) < DataHeaderLen {
+		return DataHeader{}, nil, ErrShortPacket
+	}
+	if buf[0] != TypeData {
+		return DataHeader{}, nil, ErrBadType
+	}
+	h := DataHeader{
+		Seq:        binary.BigEndian.Uint64(buf[1:]),
+		SentNanos:  int64(binary.BigEndian.Uint64(buf[9:])),
+		PayloadLen: binary.BigEndian.Uint16(buf[17:]),
+	}
+	if len(buf) < DataHeaderLen+int(h.PayloadLen) {
+		return DataHeader{}, nil, ErrShortPacket
+	}
+	return h, buf[DataHeaderLen : DataHeaderLen+int(h.PayloadLen)], nil
+}
+
+// MarshalAck encodes an acknowledgement into buf, returning AckLen.
+func MarshalAck(buf []byte, a Ack) (int, error) {
+	if len(buf) < AckLen {
+		return 0, ErrShortPacket
+	}
+	buf[0] = TypeAck
+	binary.BigEndian.PutUint64(buf[1:], a.AckSeq)
+	binary.BigEndian.PutUint64(buf[9:], uint64(a.DataSentNanos))
+	binary.BigEndian.PutUint64(buf[17:], uint64(a.ReceivedNanos))
+	binary.BigEndian.PutUint32(buf[25:], a.RateWord)
+	if a.InternetBottleneck {
+		buf[29] = 1
+	} else {
+		buf[29] = 0
+	}
+	return AckLen, nil
+}
+
+// UnmarshalAck parses an acknowledgement.
+func UnmarshalAck(buf []byte) (Ack, error) {
+	if len(buf) < AckLen {
+		return Ack{}, ErrShortPacket
+	}
+	if buf[0] != TypeAck {
+		return Ack{}, ErrBadType
+	}
+	return Ack{
+		AckSeq:             binary.BigEndian.Uint64(buf[1:]),
+		DataSentNanos:      int64(binary.BigEndian.Uint64(buf[9:])),
+		ReceivedNanos:      int64(binary.BigEndian.Uint64(buf[17:])),
+		RateWord:           binary.BigEndian.Uint32(buf[25:]),
+		InternetBottleneck: buf[29] == 1,
+	}, nil
+}
+
+// NanosToDuration converts wire nanoseconds to a Duration since process
+// start.
+func NanosToDuration(n int64) time.Duration { return time.Duration(n) }
