@@ -8,8 +8,13 @@ package pbecc
 
 import (
 	"testing"
+	"time"
 
 	"pbecc/internal/harness"
+	"pbecc/internal/netsim"
+	"pbecc/internal/nr"
+	"pbecc/internal/phy"
+	"pbecc/internal/sim"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -48,6 +53,33 @@ func BenchmarkFigure21a(b *testing.B) { benchExperiment(b, "fig21a") }
 func BenchmarkFigure21b(b *testing.B) { benchExperiment(b, "fig21b") }
 func BenchmarkFigure21c(b *testing.B) { benchExperiment(b, "fig21c") }
 func BenchmarkFigure21d(b *testing.B) { benchExperiment(b, "fig21d") }
+
+// 5G NR benches: the nr-* experiments added with internal/nr.
+
+func BenchmarkNRTput(b *testing.B)             { benchExperiment(b, "nr-tput") }
+func BenchmarkNRBlockage(b *testing.B)         { benchExperiment(b, "nr-blockage") }
+func BenchmarkNRDualConnectivity(b *testing.B) { benchExperiment(b, "nr-dc") }
+func BenchmarkNRCompete(b *testing.B)          { benchExperiment(b, "nr-compete") }
+
+// BenchmarkNRSlotScheduling isolates the NR cell's slot loop from the
+// transport stack: four saturated users on a µ=3 mmWave carrier, 8000
+// scheduling slots per simulated second.
+func BenchmarkNRSlotScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.New(1)
+		cell := nr.NewCell(eng, nr.Config{ID: 1, Mu: 3, BandwidthMHz: 100})
+		for u := 0; u < 4; u++ {
+			ue := nr.NewUE(eng, u, uint16(61+u))
+			ue.AddCell(cell, phy.NewStaticChannel(-85, cell.Table, nil))
+			ue.SetDefaultHandler(&netsim.Sink{})
+			netsim.NewCrossTraffic(eng, ue, 400e6, u+1).Start()
+		}
+		eng.RunUntil(time.Second)
+		if cell.Slot() != 8000 {
+			b.Fatalf("ran %d slots, want 8000", cell.Slot())
+		}
+	}
+}
 
 // Ablation benches: the design-choice studies DESIGN.md calls out.
 

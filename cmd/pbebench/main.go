@@ -1,14 +1,19 @@
-// Command pbebench regenerates the paper's tables and figures.
+// Command pbebench regenerates the paper's tables and figures, plus the
+// 5G NR experiments added on top of the paper's LTE evaluation.
 //
 // Usage:
 //
 //	pbebench -exp table1           # one experiment
 //	pbebench -exp all              # everything
 //	pbebench -exp fig12 -quick     # reduced grid for a fast look
+//	pbebench -exp nr-blockage      # 5G NR mmWave blockage scenario
 //	pbebench -list                 # show available experiment ids
+//	pbebench -list -json           # ids as JSON
+//	pbebench -exp nr-tput -json    # machine-readable tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,34 +25,65 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	quick := flag.Bool("quick", false, "reduced durations and location grid")
 	list := flag.Bool("list", false, "list experiment ids")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
 	flag.Parse()
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
 	if *list {
+		if *jsonOut {
+			type entry struct {
+				ID    string `json:"id"`
+				Title string `json:"title"`
+			}
+			var out []entry
+			for _, e := range harness.Experiments() {
+				out = append(out, entry{e.ID, e.Title})
+			}
+			if err := enc.Encode(out); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
+	var collected []harness.Table
 	run := func(e harness.Experiment) {
+		tables := e.Run(*quick)
+		if *jsonOut {
+			collected = append(collected, tables...)
+			return
+		}
 		fmt.Printf("--- running %s (%s) ---\n", e.ID, e.Title)
-		for _, t := range e.Run(*quick) {
+		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
 	}
 
-	if *exp == "all" {
-		for _, e := range harness.Experiments() {
-			run(e)
-		}
-		return
-	}
+	found := false
 	for _, e := range harness.Experiments() {
-		if e.ID == *exp {
+		if *exp == "all" || e.ID == *exp {
 			run(e)
-			return
+			found = true
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := enc.Encode(collected); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

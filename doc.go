@@ -4,17 +4,20 @@
 //
 // The paper's contribution - a congestion controller whose mobile client
 // decodes the cellular control channel to measure available capacity per
-// millisecond - lives in internal/core. Everything it depends on is built
-// in this module as well: a subframe-accurate LTE MAC simulator with
-// carrier aggregation and HARQ (internal/lte), a PDCCH blind decoder with
-// real channel coding (internal/pdcch), PHY-layer rate/error models
-// (internal/phy), a discrete-event engine (internal/sim), a wired-network
-// model (internal/netsim), seven baseline congestion-control algorithms
-// (internal/cc/...), workload generators calibrated to the paper's
-// measurements (internal/trace), and the experiment harness regenerating
-// every table and figure of the evaluation (internal/harness).
+// scheduling interval - lives in internal/core. Everything it depends on
+// is built in this module as well: a subframe-accurate LTE MAC simulator
+// with carrier aggregation and HARQ (internal/lte), a slot-accurate 5G NR
+// MAC with flexible numerology, mmWave carriers, code-block-group HARQ
+// and EN-DC dual connectivity (internal/nr), a PDCCH blind decoder with
+// real channel coding (internal/pdcch), PHY-layer rate/error models and
+// the NR numerology tables (internal/phy), a discrete-event engine
+// (internal/sim), a wired-network model (internal/netsim), seven baseline
+// congestion-control algorithms (internal/cc/...), workload generators
+// calibrated to the paper's measurements (internal/trace), and the
+// experiment harness regenerating every table and figure of the
+// evaluation plus the nr-* 5G scenarios (internal/harness).
 //
 // The benchmarks in bench_test.go regenerate each experiment; the
-// cmd/pbebench tool prints the full row/series output. See README.md,
-// DESIGN.md and EXPERIMENTS.md.
+// cmd/pbebench tool prints the full row/series output (or JSON with
+// -json). See README.md, DESIGN.md and EXPERIMENTS.md.
 package pbecc

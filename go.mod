@@ -1,0 +1,3 @@
+module pbecc
+
+go 1.22

@@ -40,9 +40,20 @@ const DefaultWindow = 40
 type CellInfo struct {
 	ID   int
 	NPRB int
+	// SlotsPerSubframe is the cell's scheduling-slot rate relative to the
+	// 1 ms LTE subframe: 1 for LTE (and when left zero), 2^µ for a 5G NR
+	// cell with numerology µ. The monitor scales each cell's sliding
+	// window to cover the same wall-clock span regardless of slot clock,
+	// and converts per-slot capacity to the common bits-per-millisecond
+	// unit when aggregating across RATs.
+	SlotsPerSubframe int
+	// CBGBits, when positive, switches the Eqn 5 translation to NR
+	// code-block-group retransmission with this group size. Zero keeps the
+	// paper's whole-transport-block model (LTE).
+	CBGBits int
 	// Rate returns the UE's current physical data rate on this cell in
-	// bits per PRB (from its own CQI feedback), used before any own
-	// allocation appears in the window.
+	// bits per PRB per slot (from its own CQI feedback), used before any
+	// own allocation appears in the window.
 	Rate func() float64
 	// BER returns the current bit error rate estimate used by the Eqn 5
 	// translation.
@@ -64,9 +75,12 @@ type Monitor struct {
 	order []int
 }
 
-// cellTrack is the sliding window of one cell.
+// cellTrack is the sliding window of one cell. The ring holds one sample
+// per scheduling slot; its length is Window * SlotsPerSubframe so every
+// cell's window spans the same wall-clock time.
 type cellTrack struct {
 	info CellInfo
+	spf  int // slots per subframe (1 for LTE, 2^µ for NR)
 	ring []subframeSample
 	next int
 	fill int
@@ -116,9 +130,14 @@ func (m *Monitor) AttachCell(info CellInfo) {
 	if _, ok := m.cells[info.ID]; !ok {
 		m.order = append(m.order, info.ID)
 	}
+	spf := info.SlotsPerSubframe
+	if spf < 1 {
+		spf = 1
+	}
 	m.cells[info.ID] = &cellTrack{
 		info:  info,
-		ring:  make([]subframeSample, m.Window),
+		spf:   spf,
+		ring:  make([]subframeSample, m.Window*spf),
 		users: make(map[uint16]*userTrack),
 	}
 }
@@ -140,8 +159,11 @@ func (m *Monitor) DetachCell(id int) {
 // ActiveCellIDs returns the monitored cell IDs in attachment order.
 func (m *Monitor) ActiveCellIDs() []int { return m.order }
 
-// OnSubframe ingests one cell's control information; it has the signature
-// of lte.Monitor so it can be attached to a cell directly.
+// OnSubframe ingests one scheduling interval of a cell's control
+// information - a 1 ms subframe for LTE, one slot for NR (the NR cell
+// emits one report per slot with the slot index in the Subframe field).
+// It has the signature of lte.Monitor so it can be attached to either
+// cell type directly.
 func (m *Monitor) OnSubframe(rep *lte.SubframeReport) {
 	ct, ok := m.cells[rep.CellID]
 	if !ok {
@@ -251,7 +273,10 @@ func (ct *cellTrack) rw() float64 {
 }
 
 // CellCapacity returns one cell's contribution to Eqn 3 in physical bits
-// per subframe: R_w * (P_a + P_idle/N).
+// per scheduling slot: R_w * (P_a + P_idle/N). For LTE a slot is the 1 ms
+// subframe; for NR it is the numerology's slot, so capacities of cells
+// with different slot clocks are not directly comparable - use
+// CellCapacityPerMs or CapacityBits for cross-RAT aggregation.
 func (m *Monitor) CellCapacity(cellID int) float64 {
 	ct, ok := m.cells[cellID]
 	if !ok || ct.fill == 0 {
@@ -265,7 +290,7 @@ func (m *Monitor) CellCapacity(cellID int) float64 {
 }
 
 // CellFairShare returns one cell's contribution to Eqn 2 in physical bits
-// per subframe: R_w * P_cell/N.
+// per scheduling slot: R_w * P_cell/N.
 func (m *Monitor) CellFairShare(cellID int) float64 {
 	ct, ok := m.cells[cellID]
 	if !ok {
@@ -275,27 +300,58 @@ func (m *Monitor) CellFairShare(cellID int) float64 {
 	return ct.rw() * float64(ct.info.NPRB) / n
 }
 
+// CellCapacityPerMs returns one cell's Eqn 3 capacity normalized to the
+// common bits-per-millisecond unit: per-slot capacity times the cell's
+// slot rate. This is the cross-RAT generalization of the paper's
+// per-subframe accounting - an LTE cell contributes its per-subframe
+// capacity unchanged, an NR µ=1 cell contributes twice its per-slot
+// capacity, and so on.
+func (m *Monitor) CellCapacityPerMs(cellID int) float64 {
+	ct, ok := m.cells[cellID]
+	if !ok {
+		return 0
+	}
+	return m.CellCapacity(cellID) * float64(ct.spf)
+}
+
+// CellFairSharePerMs returns one cell's Eqn 2 fair share in bits per
+// millisecond.
+func (m *Monitor) CellFairSharePerMs(cellID int) float64 {
+	ct, ok := m.cells[cellID]
+	if !ok {
+		return 0
+	}
+	return m.CellFairShare(cellID) * float64(ct.spf)
+}
+
 // CapacityBits returns C_t: the Eqn 3 available capacity summed over the
-// aggregated cells and translated to transport-layer goodput through
-// Eqn 5, in bits per subframe.
+// aggregated cells (normalized across slot clocks) and translated to
+// transport-layer goodput through Eqn 5, in bits per millisecond.
 func (m *Monitor) CapacityBits() float64 {
 	var total float64
 	for _, id := range m.order {
-		cp := m.CellCapacity(id)
-		total += phy.TransportFromPhysical(cp, m.cellBER(id))
+		total += m.translate(id, m.CellCapacityPerMs(id))
 	}
 	return total
 }
 
-// FairShareBits returns C_f of Eqn 2 translated to transport-layer bits
-// per subframe.
+// FairShareBits returns C_f of Eqn 2 summed over the aggregated cells and
+// translated to transport-layer bits per millisecond.
 func (m *Monitor) FairShareBits() float64 {
 	var total float64
 	for _, id := range m.order {
-		cf := m.CellFairShare(id)
-		total += phy.TransportFromPhysical(cf, m.cellBER(id))
+		total += m.translate(id, m.CellFairSharePerMs(id))
 	}
 	return total
+}
+
+// translate applies the Eqn 5 physical-to-transport translation with the
+// cell's retransmission granularity.
+func (m *Monitor) translate(id int, cp float64) float64 {
+	if ct := m.cells[id]; ct != nil && ct.info.CBGBits > 0 {
+		return phy.TransportFromPhysicalCBG(cp, m.cellBER(id), ct.info.CBGBits)
+	}
+	return phy.TransportFromPhysical(cp, m.cellBER(id))
 }
 
 func (m *Monitor) cellBER(id int) float64 {

@@ -17,13 +17,14 @@ import (
 )
 
 // Table is one printable experiment output: the rows or series of a paper
-// table or figure.
+// table or figure. The JSON tags serve cmd/pbebench's -json mode, so
+// bench-trajectory tooling can consume rows without scraping text tables.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Fprint renders the table as aligned text.
@@ -95,6 +96,10 @@ func Experiments() []Experiment {
 		{"fig21c", "TCP friendliness: two PBE flows + one BBR", Figure21c},
 		{"fig21d", "TCP friendliness: two PBE flows + one CUBIC", Figure21d},
 		{"ablation", "Design ablations: filter, drain, ramp, decode path, guard", Ablations},
+		{"nr-tput", "5G NR single-cell throughput and delay per scheme", NRTput},
+		{"nr-blockage", "mmWave blockage: PBE tracks the capacity collapse", NRBlockage},
+		{"nr-dc", "EN-DC dual connectivity: LTE anchor + NR secondary", NRDualConnectivity},
+		{"nr-compete", "NR cell competition: PBE vs on-off competitor", NRCompete},
 	}
 }
 
@@ -108,6 +113,7 @@ func RunExperiment(id string, quick bool) ([]Table, error) {
 	return nil, fmt.Errorf("unknown experiment %q", id)
 }
 
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
@@ -272,7 +278,7 @@ func Figure2(quick bool) []Table {
 			d = ds.Mean()
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.1f", float64(ms)/1000),
+			f1(float64(ms) / 1000),
 			f1(float64(s1) / float64(step)), f1(float64(s2) / float64(step)), f1(d)})
 	}
 	t.Notes = append(t.Notes,
@@ -672,7 +678,7 @@ func Figure17(quick bool) []Table {
 		Header: []string{"t(s)", "pbe tput", "bbr tput"}}
 	for from := time.Duration(0); from < dur; from += 2 * time.Second {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f", from.Seconds()),
+			f0(from.Seconds()),
 			f1(timelineAvg(res["pbe"], from, from+2*time.Second)),
 			f1(timelineAvg(res["bbr"], from, from+2*time.Second))})
 	}
@@ -734,7 +740,7 @@ func Figure19(quick bool) []Table {
 			comp = "ON"
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.1f", from.Seconds()),
+			f1(from.Seconds()),
 			f1(timelineAvg(res["pbe"], from, from+500*time.Millisecond)),
 			f1(timelineAvg(res["bbr"], from, from+500*time.Millisecond)),
 			comp})
@@ -810,7 +816,7 @@ func fairnessTable(id, title string, schemes [3]string, rtts [3]time.Duration, q
 			continue
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.1f", tm.Seconds()),
+			f1(tm.Seconds()),
 			f1(r.PRBSamples[1][i]), f1(r.PRBSamples[2][i]), f1(r.PRBSamples[3][i])})
 	}
 	// Jain over the three-flow phase [after flow3 start, before flow3 stop].

@@ -6,20 +6,37 @@ import (
 	"testing"
 )
 
+// TestRunAllExperimentsQuick is table-driven over every registered
+// experiment ID - including the nr-* additions - so a new experiment is
+// covered the moment it is registered and none can silently rot: each must
+// produce at least one table with at least one row, with every row matching
+// its header width.
 func TestRunAllExperimentsQuick(t *testing.T) {
 	for _, e := range Experiments() {
-		tables := e.Run(true)
-		if len(tables) == 0 {
-			t.Fatalf("%s produced no tables", e.ID)
-		}
-		for _, tb := range tables {
-			if len(tb.Rows) == 0 {
-				t.Fatalf("%s/%s has no rows", e.ID, tb.ID)
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := RunExperiment(e.ID, true)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if testing.Verbose() {
-				tb.Fprint(os.Stdout)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
 			}
-		}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s/%s has no rows", e.ID, tb.ID)
+				}
+				for i, r := range tb.Rows {
+					if len(r) != len(tb.Header) {
+						t.Fatalf("%s/%s row %d has %d cells, header has %d",
+							e.ID, tb.ID, i, len(r), len(tb.Header))
+					}
+				}
+				if testing.Verbose() {
+					tb.Fprint(os.Stdout)
+				}
+			}
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"pbecc/internal/core"
 	"pbecc/internal/lte"
 	"pbecc/internal/netsim"
+	"pbecc/internal/nr"
 	"pbecc/internal/pdcch"
 	"pbecc/internal/phy"
 	"pbecc/internal/sim"
@@ -30,7 +31,7 @@ import (
 // paper's order (§6.1).
 var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace"}
 
-// CellSpec describes one component carrier.
+// CellSpec describes one LTE component carrier.
 type CellSpec struct {
 	ID      int
 	NPRB    int
@@ -38,15 +39,34 @@ type CellSpec struct {
 	Control lte.ControlSource // nil = no control-plane chatter
 }
 
-// UESpec describes one mobile device.
+// NRCellSpec describes one 5G NR carrier. Cell IDs share a namespace with
+// the LTE cells (the monitor tracks both RATs in one table), so NR cells
+// conventionally number from 101.
+type NRCellSpec struct {
+	ID           int
+	Mu           int // numerology µ: 0..3
+	NPRB         int // 0 = derive from BandwidthMHz
+	BandwidthMHz int
+	Table        phy.CQITable      // 0 = 256-QAM
+	Control      lte.ControlSource // nil = no control-plane chatter
+}
+
+// UESpec describes one mobile device. A UE with only CellIDs is an LTE
+// device, one with only NRCellIDs is a standalone 5G device, and one with
+// both is an EN-DC dual-connectivity device whose first NR cell is the
+// secondary cell group behind the LTE anchor.
 type UESpec struct {
 	ID          int
 	RNTI        uint16
-	CellIDs     []int // primary first
+	CellIDs     []int // LTE carriers, primary first
 	RSSI        float64
 	Trajectory  phy.Trajectory // overrides RSSI when non-nil
 	FadingSigma float64
-	CA          bool // carrier aggregation enabled
+	CA          bool // LTE carrier aggregation enabled
+
+	NRCellIDs    []int          // NR carriers
+	NRRSSI       float64        // 0 = use RSSI
+	NRTrajectory phy.Trajectory // overrides NRRSSI when non-nil
 }
 
 // FlowSpec describes one end-to-end flow from a content server to a UE.
@@ -78,6 +98,7 @@ type Scenario struct {
 	Seed     int64
 	Duration time.Duration
 	Cells    []CellSpec
+	NRCells  []NRCellSpec
 	UEs      []UESpec
 	Flows    []FlowSpec
 
@@ -130,8 +151,12 @@ type Result struct {
 	Scenario *Scenario
 	Flows    []*FlowResult
 
-	// CATriggered reports whether any UE activated a secondary carrier.
+	// CATriggered reports whether any UE activated a secondary carrier
+	// (an LTE secondary cell or an EN-DC NR secondary cell group).
 	CATriggered bool
+
+	// NRActivated reports whether any EN-DC UE activated its NR leg.
+	NRActivated bool
 
 	// PRBSamples[ueIndex] holds the sampled primary-cell PRB shares.
 	PRBTimes   []time.Duration
@@ -152,28 +177,74 @@ func Run(sc *Scenario) *Result {
 		cells[cs.ID] = lte.NewCell(eng, cs.ID, cs.NPRB, table, cs.Control)
 	}
 
-	ues := map[int]*lte.UE{}
+	nrCells := map[int]*nr.Cell{}
+	for _, ns := range sc.NRCells {
+		nrCells[ns.ID] = nr.NewCell(eng, nr.Config{
+			ID: ns.ID, Mu: ns.Mu, NPRB: ns.NPRB, BandwidthMHz: ns.BandwidthMHz,
+			Table: ns.Table, Control: ns.Control,
+		})
+	}
+
+	ues := map[int]*lte.UE{}              // LTE-only devices
+	endcs := map[int]*nr.ENDC{}           // dual-connectivity devices
+	devices := map[int]device{}           // every device, by UE ID
 	channels := map[[2]int]*phy.Channel{} // (ueID, cellID) -> channel
 	for _, us := range sc.UEs {
-		ue := lte.NewUE(eng, us.ID, us.RNTI)
-		for _, cid := range us.CellIDs {
-			cell := cells[cid]
+		mkChannel := func(rssi float64, traj phy.Trajectory, table phy.CQITable) *phy.Channel {
 			var fading *phy.Fading
 			if us.FadingSigma > 0 {
 				fading = phy.NewFading(us.FadingSigma, 50*time.Millisecond, eng.Rand())
 			}
-			var ch *phy.Channel
-			if us.Trajectory != nil {
-				ch = phy.NewMobileChannel(us.Trajectory, cell.Table, fading)
-			} else {
-				ch = phy.NewStaticChannel(us.RSSI, cell.Table, fading)
+			if traj != nil {
+				return phy.NewMobileChannel(traj, table, fading)
 			}
-			channels[[2]int{us.ID, cid}] = ch
-			ue.AddCell(cell, ch)
+			return phy.NewStaticChannel(rssi, table, fading)
 		}
-		ue.SetCarrierAggregation(us.CA)
-		ue.Start()
-		ues[us.ID] = ue
+		var anchor *lte.UE
+		if len(us.CellIDs) > 0 {
+			anchor = lte.NewUE(eng, us.ID, us.RNTI)
+			for _, cid := range us.CellIDs {
+				cell := cells[cid]
+				ch := mkChannel(us.RSSI, us.Trajectory, cell.Table)
+				channels[[2]int{us.ID, cid}] = ch
+				anchor.AddCell(cell, ch)
+			}
+			anchor.SetCarrierAggregation(us.CA)
+		}
+		nrRSSI := us.NRRSSI
+		if nrRSSI == 0 {
+			nrRSSI = us.RSSI
+		}
+		switch {
+		case anchor != nil && len(us.NRCellIDs) > 0:
+			// EN-DC: LTE anchor plus one NR secondary cell group.
+			if len(us.NRCellIDs) > 1 {
+				panic("harness: EN-DC supports one NR secondary cell")
+			}
+			cell := nrCells[us.NRCellIDs[0]]
+			ch := mkChannel(nrRSSI, us.NRTrajectory, cell.Table)
+			channels[[2]int{us.ID, us.NRCellIDs[0]}] = ch
+			endc := nr.NewENDC(eng, us.ID, us.RNTI, anchor, cell, ch)
+			endc.Start()
+			endcs[us.ID] = endc
+			devices[us.ID] = endc
+		case anchor != nil:
+			anchor.Start()
+			ues[us.ID] = anchor
+			devices[us.ID] = anchor
+		case len(us.NRCellIDs) > 0:
+			// Standalone 5G device.
+			ue := nr.NewUE(eng, us.ID, us.RNTI)
+			for _, cid := range us.NRCellIDs {
+				cell := nrCells[cid]
+				ch := mkChannel(nrRSSI, us.NRTrajectory, cell.Table)
+				channels[[2]int{us.ID, cid}] = ch
+				ue.AddCell(cell, ch)
+			}
+			devices[us.ID] = ue
+		default:
+			panic(fmt.Sprintf("harness: UE %d has no cells", us.ID))
+		}
 	}
 
 	// PBE monitors: one per UE hosting at least one PBE flow, fed by every
@@ -192,9 +263,27 @@ func Run(sc *Scenario) *Result {
 		mon.UseFilter = !sc.DisableUserFilter
 		monitors[fs.UE] = mon
 		clientGroups[fs.UE] = &clientGroup{}
-		ue := ues[fs.UE]
-		attach := func(active []*lte.Cell) {
+
+		// attachNR registers one NR carrier with its slot clock.
+		attachNR := func(cid int) {
+			cell := nrCells[cid]
+			ch := channels[[2]int{fs.UE, cid}]
+			mon.AttachCell(core.CellInfo{
+				ID:               cell.ID,
+				NPRB:             cell.NPRB,
+				SlotsPerSubframe: cell.SlotsPerSubframe(),
+				CBGBits:          nr.CodeBlockBits,
+				Rate:             func() float64 { return ch.MCS().BitsPerPRB() },
+				BER:              func() float64 { return ch.BER() },
+			})
+		}
+		// attachLTE tracks the anchor's active LTE carrier set, preserving
+		// any NR cells already attached to the monitor.
+		attachLTE := func(active []*lte.Cell) {
 			activeSet := map[int]bool{}
+			for _, cid := range us.NRCellIDs {
+				activeSet[cid] = true // NR attach/detach is handled separately
+			}
 			for _, c := range active {
 				activeSet[c.ID] = true
 				already := false
@@ -219,10 +308,36 @@ func Run(sc *Scenario) *Result {
 				}
 			}
 		}
-		attach(ue.ActiveCells())
-		ue.OnActiveChange(attach)
+
+		switch dev := devices[fs.UE].(type) {
+		case *lte.UE:
+			attachLTE(dev.ActiveCells())
+			dev.OnActiveChange(attachLTE)
+		case *nr.ENDC:
+			anchor := dev.AnchorUE()
+			attachLTE(anchor.ActiveCells())
+			anchor.OnActiveChange(attachLTE)
+			nrID := us.NRCellIDs[0]
+			dev.OnSecondaryChange(func(active bool) {
+				if active {
+					attachNR(nrID)
+				} else {
+					mon.DetachCell(nrID)
+				}
+			})
+		case *nr.UE:
+			for _, cid := range us.NRCellIDs {
+				attachNR(cid)
+			}
+		}
 		for _, cid := range us.CellIDs {
 			cells[cid].AttachMonitor(monitorFeed(sc, cells[cid], mon))
+		}
+		for _, cid := range us.NRCellIDs {
+			// NR control information feeds the monitor directly; the
+			// bit-level PDCCH encode/decode path models the LTE control
+			// channel only.
+			nrCells[cid].AttachMonitor(mon.OnSubframe)
 		}
 	}
 
@@ -237,10 +352,10 @@ func Run(sc *Scenario) *Result {
 		fr := &FlowResult{ID: fs.ID, Scheme: fs.Scheme,
 			Tput: &stats.Series{}, Delay: &stats.DurationSeries{}}
 		res.Flows = append(res.Flows, fr)
-		ue := ues[fs.UE]
+		dev := devices[fs.UE]
 
 		if fs.Scheme == "fixed" {
-			ct := netsim.NewCrossTraffic(eng, ue, fs.FixedRate, fs.ID)
+			ct := netsim.NewCrossTraffic(eng, dev, fs.FixedRate, fs.ID)
 			scheduleOnOff(eng, ct, fs, stop)
 			continue
 		}
@@ -272,10 +387,10 @@ func Run(sc *Scenario) *Result {
 			windows.Add(now, p.Size)
 			fr.Delay.AddDuration(owd)
 		}
-		ue.RegisterFlow(fs.ID, rcv)
+		dev.RegisterFlow(fs.ID, rcv)
 
 		// Data path: sender -> (internet bottleneck) -> tower -> UE.
-		var dataPath netsim.Handler = ue
+		var dataPath netsim.Handler = dev
 		dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
 		snd = cc.NewSender(eng, fs.ID, dataPath, ctrl)
 		fr.snd = snd
@@ -346,7 +461,24 @@ func Run(sc *Scenario) *Result {
 			res.CATriggered = true
 		}
 	}
+	for _, e := range endcs {
+		if e.Activations > 0 {
+			res.CATriggered = true
+			res.NRActivated = true
+		}
+		if e.AnchorUE().Activations > 0 {
+			res.CATriggered = true
+		}
+	}
 	return res
+}
+
+// device is the UE-side endpoint a flow terminates on, regardless of RAT:
+// an LTE UE, a standalone 5G UE, or an EN-DC dual-connectivity UE.
+type device interface {
+	netsim.Handler
+	RegisterFlow(flowID int, h netsim.Handler)
+	SetDefaultHandler(h netsim.Handler)
 }
 
 func (fr *FlowResult) buildTimeline() {

@@ -316,7 +316,7 @@ func (c *Cell) tick() {
 		blUsers = append(blUsers, u)
 		wants = append(wants, w)
 	}
-	grants := waterFill(wants, rbgLeft, c.subframe)
+	grants := WaterFill(wants, rbgLeft, c.subframe)
 	for i, u := range blUsers {
 		n := grants[i]
 		if n == 0 {
@@ -403,11 +403,12 @@ func (c *Cell) transmit(tb *transportBlock) {
 	c.pendingRetx[retxAt] = append(c.pendingRetx[retxAt], tb)
 }
 
-// waterFill distributes capacity RBGs over users with the given demands,
+// WaterFill distributes capacity RBGs over users with the given demands,
 // equalizing shares: users wanting less than the fair share are satisfied
 // in full and the surplus is redistributed. Leftover odd RBGs rotate with
-// the subframe index so no user position is systematically favored.
-func waterFill(wants []int, capacity, rotate int) []int {
+// the subframe (or NR slot) index so no user position is systematically
+// favored. The NR scheduler in internal/nr shares this policy.
+func WaterFill(wants []int, capacity, rotate int) []int {
 	grants := make([]int, len(wants))
 	unsat := make([]int, 0, len(wants))
 	for i, w := range wants {

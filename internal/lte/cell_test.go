@@ -168,7 +168,7 @@ func TestWaterFill(t *testing.T) {
 		{[]int{3, 3, 3}, 2, nil}, // fewer RBGs than users: one each, rotating
 	}
 	for i, c := range cases {
-		got := waterFill(c.wants, c.capacity, 0)
+		got := WaterFill(c.wants, c.capacity, 0)
 		if c.want == nil {
 			sum := 0
 			for _, g := range got {
@@ -190,7 +190,7 @@ func TestWaterFill(t *testing.T) {
 func TestWaterFillNeverExceedsCapacity(t *testing.T) {
 	for rot := 0; rot < 7; rot++ {
 		for _, cap := range []int{0, 1, 5, 25, 100} {
-			got := waterFill([]int{7, 3, 9, 1, 12}, cap, rot)
+			got := WaterFill([]int{7, 3, 9, 1, 12}, cap, rot)
 			sum := 0
 			for i, g := range got {
 				sum += g

@@ -85,6 +85,19 @@ func TransportFromPhysical(cp float64, ber float64) float64 {
 	return (lo + hi) / 2
 }
 
+// TransportFromPhysicalCBG solves Eqn 5 for a 5G NR cell, where HARQ
+// retransmits fixed-size code-block groups rather than whole transport
+// blocks: the per-group error probability is constant, so
+// C_p = C_t*(1+p_cbg) + gamma*C_p has a closed form. Using the paper's
+// whole-TB form on NR would grossly overestimate retransmission overhead,
+// since NR transport blocks reach hundreds of kilobits per subframe.
+func TransportFromPhysicalCBG(cp, ber float64, cbgBits int) float64 {
+	if cp <= 0 {
+		return 0
+	}
+	return cp * (1 - ProtocolOverhead) / (1 + TBErrorRate(ber, cbgBits))
+}
+
 // PhysicalFromTransport computes the physical capacity needed to carry a
 // transport goodput C_t at bit error rate p (the forward direction of
 // Eqn. 5). It is the exact inverse of TransportFromPhysical.

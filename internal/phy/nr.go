@@ -1,0 +1,69 @@
+package phy
+
+import "time"
+
+// 5G NR flexible numerology (3GPP TS 38.211 §4.3): the subcarrier spacing
+// is 15 kHz * 2^µ and a slot always spans 14 OFDM symbols, so slots shrink
+// as µ grows: 1 ms at µ=0, 0.5 ms at µ=1, 0.25 ms at µ=2, 0.125 ms at µ=3.
+// Sub-6 GHz deployments use µ=0/1 (µ=2 in some bands); mmWave (FR2) uses
+// µ=3. Because every slot carries 14 symbols, the per-PRB-per-slot resource
+// count matches the LTE per-PRB-per-subframe count, and MCS.BitsPerPRB
+// gives bits per PRB per *slot* for NR cells.
+
+// NRMaxMu is the largest numerology the simulator models (120 kHz, FR2).
+const NRMaxMu = 3
+
+// NRSlotsPerSubframe returns 2^µ, the number of NR slots in one 1 ms
+// subframe. µ outside 0..NRMaxMu is clamped.
+func NRSlotsPerSubframe(mu int) int {
+	return 1 << clampMu(mu)
+}
+
+// NRSlotDuration returns the slot length of numerology µ: 1 ms / 2^µ.
+func NRSlotDuration(mu int) time.Duration {
+	return time.Millisecond / time.Duration(NRSlotsPerSubframe(mu))
+}
+
+// NRSlotsPerSecond returns the slot rate of numerology µ (1000 * 2^µ).
+func NRSlotsPerSecond(mu int) float64 {
+	return 1000 * float64(NRSlotsPerSubframe(mu))
+}
+
+func clampMu(mu int) int {
+	if mu < 0 {
+		return 0
+	}
+	if mu > NRMaxMu {
+		return NRMaxMu
+	}
+	return mu
+}
+
+// nrCarrierPRBs is the maximum transmission bandwidth configuration N_RB of
+// 3GPP TS 38.101-1 Table 5.3.2-1 (FR1) and TS 38.101-2 Table 5.3.2-1 (FR2):
+// PRBs per carrier indexed by [µ][bandwidth MHz]. Zero means the combination
+// is not defined by the standard.
+var nrCarrierPRBs = [NRMaxMu + 1]map[int]int{
+	0: {5: 25, 10: 52, 15: 79, 20: 106, 25: 133, 40: 216, 50: 270},
+	1: {5: 11, 10: 24, 15: 38, 20: 51, 25: 65, 40: 106, 50: 133, 60: 162, 80: 217, 100: 273},
+	2: {10: 11, 15: 18, 20: 24, 25: 31, 40: 51, 50: 65, 60: 79, 80: 107, 100: 135},
+	3: {50: 32, 100: 66, 200: 132, 400: 264},
+}
+
+// NRCarrierPRBs returns the PRB count of an NR carrier with the given
+// numerology and channel bandwidth in MHz, or 0 if 3GPP does not define the
+// combination. The workhorse sub-6 configuration is µ=1 at 100 MHz
+// (273 PRBs); the mmWave profile is µ=3 at 100-400 MHz.
+func NRCarrierPRBs(mu, bandwidthMHz int) int {
+	if mu < 0 || mu > NRMaxMu {
+		return 0
+	}
+	return nrCarrierPRBs[mu][bandwidthMHz]
+}
+
+// NRCellRateBps returns the peak physical rate of an NR carrier in bits per
+// second for a given per-slot MCS: bitsPerPRB * NPRB * slots/sec. It is the
+// NR analogue of R_w * P_cell * 1000 for LTE.
+func NRCellRateBps(m MCS, mu, nprb int) float64 {
+	return m.BitsPerPRB() * float64(nprb) * NRSlotsPerSecond(mu)
+}
