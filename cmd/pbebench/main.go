@@ -65,16 +65,24 @@ func main() {
 		}
 	}
 
-	found := false
+	// Resolve the experiment before running anything, so an unknown ID
+	// fails fast with a non-zero exit in every output mode (-json
+	// included) and lists what would have been valid.
+	var matched []harness.Experiment
 	for _, e := range harness.Experiments() {
 		if *exp == "all" || e.ID == *exp {
-			run(e)
-			found = true
+			matched = append(matched, e)
 		}
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-		os.Exit(1)
+	if len(matched) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid ids:\n", *exp)
+		for _, e := range harness.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.ID)
+		}
+		os.Exit(2)
+	}
+	for _, e := range matched {
+		run(e)
 	}
 	if *jsonOut {
 		if err := enc.Encode(collected); err != nil {

@@ -1,0 +1,130 @@
+// Command pbesweep runs a declarative scenario-matrix sweep across a
+// bounded worker pool and emits machine-readable JSON results, or diffs
+// two result files for the CI benchmark-regression gate.
+//
+// Usage:
+//
+//	pbesweep -spec sweep.json -workers 8 -out results.json
+//	pbesweep -smoke -out BENCH_PR.json          # built-in CI smoke matrix
+//	pbesweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json
+//	pbesweep -list                              # families, schemes, axes
+//
+// Results are bit-identical for any -workers value: every job runs on its
+// own seeded engine and rows land at their matrix index.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pbecc/internal/harness"
+	"pbecc/internal/sweep"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "sweep spec JSON file")
+	smoke := flag.Bool("smoke", false, "run the built-in CI smoke matrix")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	out := flag.String("out", "-", "result file ('-' = stdout)")
+	diff := flag.Bool("diff", false, "diff two result files: pbesweep -diff [-max-regress N] base.json cur.json")
+	maxRegress := flag.Float64("max-regress", 10, "with -diff: fail when any tracked metric regresses more than this percentage")
+	list := flag.Bool("list", false, "list scenario families, schemes and spec axes")
+	flag.Parse()
+
+	switch {
+	case *list:
+		listAxes()
+	case *diff:
+		runDiff(flag.Args(), *maxRegress)
+	default:
+		runSweep(*specPath, *smoke, *workers, *out)
+	}
+}
+
+func listAxes() {
+	fmt.Println("scenario families (spec \"experiments\"):")
+	for _, f := range harness.Families() {
+		fmt.Printf("  %-12s %s (rats: %v)\n", f.ID, f.Title, f.RATs)
+	}
+	fmt.Printf("schemes: %v\n", harness.Schemes)
+	fmt.Println("other axes: seeds, rats, cell_counts, noise_levels, busy, duration_ms")
+}
+
+func runSweep(specPath string, smoke bool, workers int, out string) {
+	var spec *sweep.Spec
+	switch {
+	case smoke && specPath != "":
+		fatal(fmt.Errorf("-smoke and -spec are mutually exclusive"))
+	case smoke:
+		spec = sweep.Smoke()
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec = &sweep.Spec{}
+		// A typo'd axis key must not silently collapse to its default
+		// and run the wrong matrix.
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(spec); err != nil {
+			fatal(fmt.Errorf("%s: %w", specPath, err))
+		}
+	default:
+		fatal(fmt.Errorf("need -spec, -smoke, -diff or -list (see -h)"))
+	}
+
+	start := time.Now()
+	res, err := sweep.Run(spec, workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %q: %d jobs in %v\n",
+		spec.Name, len(res.Rows), time.Since(start).Round(time.Millisecond))
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sweep.WriteResult(w, res); err != nil {
+		fatal(err)
+	}
+}
+
+func runDiff(args []string, maxRegress float64) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-diff needs exactly two result files, got %d", len(args)))
+	}
+	base, err := sweep.ReadResult(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := sweep.ReadResult(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	deltas, err := sweep.Diff(base, cur)
+	if err != nil {
+		fatal(err)
+	}
+	sweep.FprintDeltas(os.Stdout, deltas)
+	if worst := sweep.WorstRegression(deltas); worst > maxRegress {
+		fmt.Fprintf(os.Stderr, "FAIL: worst regression %.2f%% exceeds the %.2f%% budget\n",
+			worst, maxRegress)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbesweep:", err)
+	os.Exit(2)
+}

@@ -32,7 +32,8 @@ type Sender struct {
 	rttvar time.Duration
 
 	nextRelease time.Duration
-	pumpEv      *sim.Event
+	pumpEv      sim.Event
+	pumpFn      func() // bound once so re-pacing allocates no closure
 	lossTicker  *sim.Ticker
 	running     bool
 
@@ -68,7 +69,7 @@ const harqReorderAllowance = 27 * time.Millisecond
 // NewSender wires a sender for flowID that transmits MSS-sized packets
 // into out under ctrl's control. Call Start to begin.
 func NewSender(eng *sim.Engine, flowID int, out netsim.Handler, ctrl Controller) *Sender {
-	return &Sender{
+	s := &Sender{
 		eng:    eng,
 		FlowID: flowID,
 		out:    out,
@@ -76,6 +77,8 @@ func NewSender(eng *sim.Engine, flowID int, out netsim.Handler, ctrl Controller)
 		mss:    netsim.MSS,
 		sent:   make(map[uint64]*sentPkt),
 	}
+	s.pumpFn = s.pump
+	return s
 }
 
 // Controller returns the congestion controller driving this sender.
@@ -107,10 +110,7 @@ func (s *Sender) Stop() {
 		s.lossTicker.Stop()
 		s.lossTicker = nil
 	}
-	if s.pumpEv != nil {
-		s.pumpEv.Cancel()
-		s.pumpEv = nil
-	}
+	s.pumpEv.Cancel()
 }
 
 // Running reports whether the sender is transmitting.
@@ -144,10 +144,8 @@ func (s *Sender) pump() {
 }
 
 func (s *Sender) schedulePump(d time.Duration) {
-	if s.pumpEv != nil {
-		s.pumpEv.Cancel()
-	}
-	s.pumpEv = s.eng.Schedule(d, s.pump)
+	s.pumpEv.Cancel()
+	s.pumpEv = s.eng.Schedule(d, s.pumpFn)
 }
 
 func (s *Sender) sendOne(now time.Duration) {

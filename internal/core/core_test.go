@@ -138,6 +138,30 @@ func TestMonitorIdleCellFairShare(t *testing.T) {
 	}
 }
 
+func TestMonitorNoiseHook(t *testing.T) {
+	m := newTestMonitor()
+	for i := 0; i < 40; i++ {
+		m.OnSubframe(report(1, 100))
+	}
+	clean := m.CapacityBits()
+	cleanFS := m.FairShareBits()
+	m.Noise = func(v float64) float64 { return v * 1.5 }
+	if got := m.CapacityBits(); math.Abs(got-1.5*clean) > 1e-9 {
+		t.Fatalf("noisy CapacityBits = %v, want %v", got, 1.5*clean)
+	}
+	if got := m.FairShareBits(); math.Abs(got-1.5*cleanFS) > 1e-9 {
+		t.Fatalf("noisy FairShareBits = %v, want %v", got, 1.5*cleanFS)
+	}
+	m.Noise = func(v float64) float64 { return -1 }
+	if got := m.CapacityBits(); got != 0 {
+		t.Fatalf("negative noise output not clamped: %v", got)
+	}
+	m.Noise = nil
+	if got := m.CapacityBits(); math.Abs(got-clean) > 1e-9 {
+		t.Fatalf("CapacityBits after clearing Noise = %v, want %v", got, clean)
+	}
+}
+
 func TestMonitorCapacityTracksOwnAllocation(t *testing.T) {
 	m := newTestMonitor()
 	// I hold 60 PRBs at CQI 11 (398.7 bits/PRB), 40 idle, nobody else.

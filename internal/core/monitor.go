@@ -71,6 +71,14 @@ type Monitor struct {
 	// control-traffic filter.
 	UseFilter bool
 
+	// Noise, when non-nil, perturbs the aggregate capacity estimates the
+	// monitor reports: CapacityBits and FairShareBits return
+	// max(0, Noise(v)). It models imperfect physical-layer measurement
+	// (PDCCH decode errors, CQI quantization) and drives the sweep
+	// runner's measurement-robustness axis (Zhu et al.'s methodology for
+	// measurement-based congestion control).
+	Noise func(bits float64) float64
+
 	cells map[int]*cellTrack
 	order []int
 }
@@ -332,7 +340,7 @@ func (m *Monitor) CapacityBits() float64 {
 	for _, id := range m.order {
 		total += m.translate(id, m.CellCapacityPerMs(id))
 	}
-	return total
+	return m.noisy(total)
 }
 
 // FairShareBits returns C_f of Eqn 2 summed over the aggregated cells and
@@ -342,7 +350,19 @@ func (m *Monitor) FairShareBits() float64 {
 	for _, id := range m.order {
 		total += m.translate(id, m.CellFairSharePerMs(id))
 	}
-	return total
+	return m.noisy(total)
+}
+
+// noisy applies the measurement-noise hook, clamped at zero (a capacity
+// estimate can be arbitrarily wrong but never negative).
+func (m *Monitor) noisy(v float64) float64 {
+	if m.Noise == nil {
+		return v
+	}
+	if v = m.Noise(v); v < 0 {
+		return 0
+	}
+	return v
 }
 
 // translate applies the Eqn 5 physical-to-transport translation with the

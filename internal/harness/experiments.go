@@ -636,13 +636,7 @@ func Figure15(quick bool) []Table {
 }
 
 func mobilityScenario(scheme string, dur time.Duration) *Scenario {
-	return &Scenario{
-		Name: "mobility-" + scheme, Seed: 16, Duration: dur,
-		Cells: []CellSpec{{ID: 1, NPRB: 100, Control: trace.Idle()}},
-		UEs: []UESpec{{ID: 1, RNTI: 61, CellIDs: []int{1},
-			Trajectory: phy.PaperMobilityTrajectory(), FadingSigma: 2}},
-		Flows: []FlowSpec{{ID: 1, UE: 1, Scheme: scheme, Start: 0, RTTBase: 40 * time.Millisecond}},
-	}
+	return MobilityScenario(scheme, Params{Duration: dur})
 }
 
 // Figure16 runs the mobility trajectory (-85 -> -105 -> -85 dBm) for all
@@ -687,20 +681,7 @@ func Figure17(quick bool) []Table {
 }
 
 func competitionScenario(scheme string, dur time.Duration) *Scenario {
-	return &Scenario{
-		Name: "competition-" + scheme, Seed: 18, Duration: dur,
-		Cells: []CellSpec{{ID: 1, NPRB: 100, Control: trace.Idle()}},
-		UEs: []UESpec{
-			{ID: 1, RNTI: 61, CellIDs: []int{1}, RSSI: -90},
-			{ID: 2, RNTI: 62, CellIDs: []int{1}, RSSI: -90},
-		},
-		Flows: []FlowSpec{
-			{ID: 1, UE: 1, Scheme: scheme, Start: 0, RTTBase: 40 * time.Millisecond},
-			// Every 8 s a 4 s on-phase of a 60 Mbit/s competitor (§6.3.3).
-			{ID: 2, UE: 2, Scheme: "fixed", FixedRate: 60e6, Start: 4 * time.Second,
-				OnPeriod: 4 * time.Second, OffPeriod: 4 * time.Second},
-		},
-	}
+	return CompetitionScenario(scheme, Params{Duration: dur})
 }
 
 // Figure18 evaluates all schemes against the controlled on-off competitor.
@@ -757,16 +738,7 @@ func Figure20(quick bool) []Table {
 	t := &Table{ID: "fig20", Title: "Two concurrent flows, one device",
 		Header: []string{"scheme", "flow1 tput", "flow2 tput", "flow1 p50 delay", "flow2 p50 delay", "jain"}}
 	for _, s := range Schemes {
-		sc := &Scenario{
-			Name: "two-" + s, Seed: 20, Duration: dur,
-			Cells: []CellSpec{{ID: 1, NPRB: 100, Control: trace.Idle()}},
-			UEs:   []UESpec{{ID: 1, RNTI: 61, CellIDs: []int{1}, RSSI: -90}},
-			Flows: []FlowSpec{
-				{ID: 1, UE: 1, Scheme: s, Start: 0, RTTBase: 40 * time.Millisecond},
-				{ID: 2, UE: 1, Scheme: s, Start: 0, RTTBase: 56 * time.Millisecond},
-			},
-		}
-		r := Run(sc)
+		r := Run(MultiflowScenario(s, Params{Duration: dur}))
 		a, b := r.Flows[0], r.Flows[1]
 		t.Rows = append(t.Rows, []string{s, f1(a.AvgTputMbps), f1(b.AvgTputMbps),
 			f1(a.Delay.Percentile(50)), f1(b.Delay.Percentile(50)),

@@ -31,6 +31,12 @@ import (
 // paper's order (§6.1).
 var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace"}
 
+// SchemeUsesMonitor reports whether a scheme consumes the PBE monitor's
+// physical-layer capacity feed. Only these schemes react to the
+// measurement-noise axis; for the rest, noisy jobs would duplicate the
+// noise-free run exactly.
+func SchemeUsesMonitor(scheme string) bool { return scheme == "pbe" }
+
 // CellSpec describes one LTE component carrier.
 type CellSpec struct {
 	ID      int
@@ -117,6 +123,41 @@ type Scenario struct {
 
 	// MisreportGuard configures the §7 server-side feedback validator.
 	MisreportGuard float64
+
+	// CapacityNoise, when positive, applies zero-mean Gaussian
+	// multiplicative noise with this standard deviation (as a fraction of
+	// the estimate) to the PBE monitor's capacity feedback - the sweep
+	// runner's measurement-robustness axis, after Zhu et al.'s methodology
+	// for stress-testing measurement-based congestion control.
+	CapacityNoise float64
+}
+
+// NominalCapacityMbps returns the scenario's aggregate peak physical
+// capacity: every cell at its top CQI with two spatial streams. It is the
+// denominator of the sweep runner's utilization metric.
+func (sc *Scenario) NominalCapacityMbps() float64 {
+	var bps float64
+	for _, cs := range sc.Cells {
+		table := cs.Table
+		if table == 0 {
+			table = phy.Table64QAM
+		}
+		peak := phy.MCS{CQI: 15, Table: table, Streams: 2}
+		bps += peak.BitsPerPRB() * float64(cs.NPRB) * 1000
+	}
+	for _, ns := range sc.NRCells {
+		table := ns.Table
+		if table == 0 {
+			table = phy.Table256QAM
+		}
+		nprb := ns.NPRB
+		if nprb == 0 {
+			nprb = phy.NRCarrierPRBs(ns.Mu, ns.BandwidthMHz)
+		}
+		peak := phy.MCS{CQI: 15, Table: table, Streams: 2}
+		bps += phy.NRCellRateBps(peak, ns.Mu, nprb)
+	}
+	return bps / 1e6
 }
 
 // FlowResult is one flow's measured performance.
@@ -261,6 +302,12 @@ func Run(sc *Scenario) *Result {
 		}
 		mon := core.NewMonitor(us.RNTI)
 		mon.UseFilter = !sc.DisableUserFilter
+		if sigma := sc.CapacityNoise; sigma > 0 {
+			rng := eng.Rand()
+			mon.Noise = func(v float64) float64 {
+				return v * (1 + sigma*rng.NormFloat64())
+			}
+		}
 		monitors[fs.UE] = mon
 		clientGroups[fs.UE] = &clientGroup{}
 

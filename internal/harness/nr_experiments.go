@@ -188,20 +188,7 @@ func NRCompete(quick bool) []Table {
 	t := &Table{ID: "nr-compete", Title: "NR cell competition: on-off 300 Mbit/s competitor",
 		Header: []string{"scheme", "avg tput(Mbit/s)", "avg delay(ms)", "p95 delay(ms)"}}
 	for _, s := range schemes {
-		sc := &Scenario{
-			Name: "nr-compete-" + s, Seed: 3300, Duration: dur,
-			NRCells: []NRCellSpec{{ID: 101, Mu: 1, BandwidthMHz: 100, Control: trace.Idle()}},
-			UEs: []UESpec{
-				{ID: 1, RNTI: 61, NRCellIDs: []int{101}, RSSI: -88},
-				{ID: 2, RNTI: 62, NRCellIDs: []int{101}, RSSI: -88},
-			},
-			Flows: []FlowSpec{
-				{ID: 1, UE: 1, Scheme: s, Start: 0, RTTBase: 30 * time.Millisecond},
-				{ID: 2, UE: 2, Scheme: "fixed", FixedRate: 300e6, Start: dur / 8,
-					OnPeriod: dur / 4, OffPeriod: dur / 4},
-			},
-		}
-		f := Run(sc).Flows[0]
+		f := Run(CompetitionScenario(s, Params{Duration: dur, RAT: RATNR})).Flows[0]
 		t.Rows = append(t.Rows, []string{s, f1(f.AvgTputMbps), f1(f.Delay.Mean()),
 			f1(f.Delay.Percentile(95))})
 	}

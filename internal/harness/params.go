@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pbecc/internal/lte"
+	"pbecc/internal/phy"
+	"pbecc/internal/trace"
+)
+
+// Params are the knobs the sweep runner varies across jobs: the axes of
+// the paper's evaluation matrix (Figs. 8-21) plus the measurement-noise
+// robustness axis. Zero values keep each scenario family's defaults, so
+// the figure experiments and the sweep share one set of builders.
+type Params struct {
+	Seed     int64         // engine seed; 0 = family default
+	Duration time.Duration // scenario length; 0 = family default
+	Cells    int           // component carriers / NR cells; 0 = family default
+	RAT      string        // "lte" (default) or "nr"
+	Busy     bool          // add calibrated control chatter + background users
+	RSSI     float64       // signal strength in dBm; 0 = family default
+
+	// CapacityNoise is the std (as a fraction of the estimate) of
+	// multiplicative Gaussian noise on the PBE monitor's capacity
+	// feedback.
+	CapacityNoise float64
+}
+
+// RATLTE and RATNR name the radio-access-technology axis values.
+const (
+	RATLTE = "lte"
+	RATNR  = "nr"
+)
+
+func (p Params) rat() string {
+	if p.RAT == "" {
+		return RATLTE
+	}
+	return p.RAT
+}
+
+func (p Params) dur(def time.Duration) time.Duration {
+	if p.Duration > 0 {
+		return p.Duration
+	}
+	return def
+}
+
+func (p Params) rssi(def float64) float64 {
+	if p.RSSI != 0 {
+		return p.RSSI
+	}
+	return def
+}
+
+func (p Params) cellCount(def int) int {
+	if p.Cells > 0 {
+		return p.Cells
+	}
+	return def
+}
+
+// apply overlays the cross-family knobs once a builder has produced its
+// scenario.
+func (p Params) apply(sc *Scenario) *Scenario {
+	if p.Seed != 0 {
+		sc.Seed = p.Seed
+	}
+	if p.CapacityNoise > 0 {
+		sc.CapacityNoise = p.CapacityNoise
+	}
+	return sc
+}
+
+// controlFor returns the cell's control-plane source for the Busy knob:
+// calibrated chatter on a busy cell, the idle trace otherwise. (The steady
+// family additionally adds background data users on busy cells.)
+func controlFor(p Params) lte.ControlSource {
+	if p.Busy {
+		return trace.Busy()
+	}
+	return trace.Idle()
+}
+
+// Family is one parameterizable scenario generator: where the figure
+// experiments bake every choice into a closure, a family exposes the
+// choices as Params so the sweep runner can expand a matrix over them.
+type Family struct {
+	ID    string
+	Title string
+	RATs  []string
+	// CellsAxis reports whether the family honors Params.Cells; a
+	// sweep listing cell counts over a family that ignores them would
+	// run mislabeled duplicate jobs, so BuildScenario rejects that.
+	CellsAxis bool
+	Build     func(scheme string, p Params) *Scenario
+}
+
+// Families returns the sweepable scenario families.
+func Families() []Family {
+	return []Family{
+		{"steady", "single flow in steady state at one location", []string{RATLTE, RATNR}, true, SteadyScenario},
+		{"mobility", "mobility trajectory (LTE) / mmWave blockage (NR)", []string{RATLTE, RATNR}, false, MobilityScenario},
+		{"competition", "on-off competitor sharing the cell", []string{RATLTE, RATNR}, false, CompetitionScenario},
+		{"multiflow", "two concurrent flows from one device", []string{RATLTE, RATNR}, false, MultiflowScenario},
+	}
+}
+
+// BuildScenario builds one family's scenario for a scheme, validating the
+// family ID, scheme name, and RAT support first.
+func BuildScenario(family, scheme string, p Params) (*Scenario, error) {
+	known := false
+	for _, s := range Schemes {
+		if s == scheme {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown scheme %q (valid: %v)", scheme, Schemes)
+	}
+	for _, f := range Families() {
+		if f.ID != family {
+			continue
+		}
+		ratOK := false
+		for _, r := range f.RATs {
+			if r == p.rat() {
+				ratOK = true
+				break
+			}
+		}
+		if !ratOK {
+			return nil, fmt.Errorf("family %q does not support RAT %q", family, p.rat())
+		}
+		if p.Cells > 0 && !f.CellsAxis {
+			return nil, fmt.Errorf("family %q does not support the cell-count axis", family)
+		}
+		return f.Build(scheme, p), nil
+	}
+	ids := make([]string, 0, len(Families()))
+	for _, f := range Families() {
+		ids = append(ids, f.ID)
+	}
+	return nil, fmt.Errorf("unknown scenario family %q (valid: %v)", family, ids)
+}
+
+// SteadyScenario is one flow downloading at a fixed location: the building
+// block of the paper's location grid (Figs. 12-14). LTE supports 1-3
+// aggregated carriers; NR builds a µ=1 wide cell per carrier.
+func SteadyScenario(scheme string, p Params) *Scenario {
+	if p.rat() == RATNR {
+		dur := p.dur(4 * time.Second)
+		sc := NRScenario(scheme, 1, 100, p.rssi(-88), p.Busy, dur)
+		for c := 1; c < p.cellCount(1); c++ {
+			// Each carrier needs its own control source: the trace
+			// generators are stateful, so sharing one would bleed
+			// control users across cells.
+			cell := NRCellSpec{ID: 101 + c, Mu: 1, BandwidthMHz: 100, Control: controlFor(p)}
+			sc.NRCells = append(sc.NRCells, cell)
+			sc.UEs[0].NRCellIDs = append(sc.UEs[0].NRCellIDs, cell.ID)
+		}
+		return p.apply(sc)
+	}
+	loc := Location{
+		Index:  1, // Index%3 != 0: no Internet bottleneck on the path
+		Indoor: true,
+		CCs:    p.cellCount(1),
+		Busy:   p.Busy,
+		RSSI:   p.rssi(-91),
+	}
+	state := "idle"
+	if loc.Busy {
+		state = "busy"
+	}
+	loc.Name = fmt.Sprintf("steady-%dcc-%s", loc.CCs, state)
+	return p.apply(LocationScenario(loc, scheme, p.dur(4*time.Second)))
+}
+
+// MobilityScenario is the §6.3.2 walk for LTE (-85 -> -105 -> -85 dBm,
+// Figs. 16-17); on NR it is the mmWave blockage profile, the 5G scenario
+// where capacity collapses faster than any end-to-end signal.
+func MobilityScenario(scheme string, p Params) *Scenario {
+	if p.rat() == RATNR {
+		dur := p.dur(8 * time.Second)
+		sc := nrBlockageScenario(scheme, dur, dur*3/8, dur*5/8)
+		sc.NRCells[0].Control = controlFor(p)
+		return p.apply(sc)
+	}
+	sc := &Scenario{
+		Name: "mobility-" + scheme, Seed: 16, Duration: p.dur(40 * time.Second),
+		Cells: []CellSpec{{ID: 1, NPRB: 100, Control: controlFor(p)}},
+		UEs: []UESpec{{ID: 1, RNTI: 61, CellIDs: []int{1},
+			Trajectory: phy.PaperMobilityTrajectory(), FadingSigma: 2}},
+		Flows: []FlowSpec{{ID: 1, UE: 1, Scheme: scheme, Start: 0, RTTBase: 40 * time.Millisecond}},
+	}
+	return p.apply(sc)
+}
+
+// CompetitionScenario is the §6.3.3 controlled competitor: the scheme
+// under test shares the cell with an on-off fixed-rate flow (60 Mbit/s on
+// LTE, 300 Mbit/s on an NR wide cell).
+func CompetitionScenario(scheme string, p Params) *Scenario {
+	if p.rat() == RATNR {
+		dur := p.dur(16 * time.Second)
+		sc := &Scenario{
+			Name: "nr-compete-" + scheme, Seed: 3300, Duration: dur,
+			NRCells: []NRCellSpec{{ID: 101, Mu: 1, BandwidthMHz: 100, Control: controlFor(p)}},
+			UEs: []UESpec{
+				{ID: 1, RNTI: 61, NRCellIDs: []int{101}, RSSI: p.rssi(-88)},
+				{ID: 2, RNTI: 62, NRCellIDs: []int{101}, RSSI: p.rssi(-88)},
+			},
+			Flows: []FlowSpec{
+				{ID: 1, UE: 1, Scheme: scheme, Start: 0, RTTBase: 30 * time.Millisecond},
+				{ID: 2, UE: 2, Scheme: "fixed", FixedRate: 300e6, Start: dur / 8,
+					OnPeriod: dur / 4, OffPeriod: dur / 4},
+			},
+		}
+		return p.apply(sc)
+	}
+	dur := p.dur(40 * time.Second)
+	// Every 8 s a 4 s on-phase of a 60 Mbit/s competitor (§6.3.3). The
+	// paper's fixed cadence needs at least one full cycle; shorter sweep
+	// jobs scale it with the duration so the competitor actually runs.
+	start, on, off := 4*time.Second, 4*time.Second, 4*time.Second
+	if dur < 8*time.Second {
+		start, on, off = dur/8, dur/4, dur/4
+	}
+	sc := &Scenario{
+		Name: "competition-" + scheme, Seed: 18, Duration: dur,
+		Cells: []CellSpec{{ID: 1, NPRB: 100, Control: controlFor(p)}},
+		UEs: []UESpec{
+			{ID: 1, RNTI: 61, CellIDs: []int{1}, RSSI: p.rssi(-90)},
+			{ID: 2, RNTI: 62, CellIDs: []int{1}, RSSI: p.rssi(-90)},
+		},
+		Flows: []FlowSpec{
+			{ID: 1, UE: 1, Scheme: scheme, Start: 0, RTTBase: 40 * time.Millisecond},
+			{ID: 2, UE: 2, Scheme: "fixed", FixedRate: 60e6, Start: start,
+				OnPeriod: on, OffPeriod: off},
+		},
+	}
+	return p.apply(sc)
+}
+
+// MultiflowScenario runs two concurrent connections from one device with
+// different server RTTs (Fig. 20).
+func MultiflowScenario(scheme string, p Params) *Scenario {
+	dur := p.dur(20 * time.Second)
+	if p.rat() == RATNR {
+		sc := NRScenario(scheme, 1, 100, p.rssi(-88), p.Busy, dur)
+		sc.Name = "nr-two-" + scheme
+		sc.Flows = append(sc.Flows, FlowSpec{
+			ID: len(sc.Flows) + 1, UE: 1, Scheme: scheme, Start: 0,
+			RTTBase: 46 * time.Millisecond,
+		})
+		return p.apply(sc)
+	}
+	sc := &Scenario{
+		Name: "two-" + scheme, Seed: 20, Duration: dur,
+		Cells: []CellSpec{{ID: 1, NPRB: 100, Control: controlFor(p)}},
+		UEs:   []UESpec{{ID: 1, RNTI: 61, CellIDs: []int{1}, RSSI: p.rssi(-90)}},
+		Flows: []FlowSpec{
+			{ID: 1, UE: 1, Scheme: scheme, Start: 0, RTTBase: 40 * time.Millisecond},
+			{ID: 2, UE: 1, Scheme: scheme, Start: 0, RTTBase: 56 * time.Millisecond},
+		},
+	}
+	return p.apply(sc)
+}

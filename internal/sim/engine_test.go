@@ -225,6 +225,100 @@ func TestPending(t *testing.T) {
 	}
 }
 
+// TestStaleHandleCannotCancelRecycledEvent pins the safety property of the
+// event pool: a handle kept past its event's firing must not cancel the
+// recycled object when it is reused for a later scheduling.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := New(1)
+	a := e.Schedule(time.Millisecond, func() {})
+	e.Run() // a fires; its event object returns to the free list
+	fired := false
+	e.Schedule(time.Millisecond, func() { fired = true }) // reuses a's storage
+	a.Cancel()
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+}
+
+func TestCancelAfterFireStillReportsCancelled(t *testing.T) {
+	e := New(1)
+	ev := e.Schedule(time.Millisecond, func() {})
+	e.Run()
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel on a fired event")
+	}
+}
+
+// TestLazySweepBoundsHeap checks that a heap accumulating many cancelled
+// events is compacted once they exceed the sweep fraction, instead of
+// retaining every tombstone until its timestamp comes due.
+func TestLazySweepBoundsHeap(t *testing.T) {
+	e := New(1)
+	const total = 10000
+	events := make([]Event, 0, total)
+	for i := 0; i < total; i++ {
+		// Far-future events: without sweeping they would sit in the
+		// queue for the whole run.
+		events = append(events, e.Schedule(time.Duration(i+1)*time.Hour, func() {}))
+	}
+	live := 0
+	for i := range events {
+		if i%10 == 0 {
+			live++
+			continue
+		}
+		events[i].Cancel()
+	}
+	if e.Pending() >= total/2 {
+		t.Fatalf("Pending = %d after cancelling 90%% of %d events, want sweep to bound it", e.Pending(), total)
+	}
+	fired := 0
+	for i := range events {
+		if !events[i].Cancelled() {
+			fired++
+		}
+	}
+	if fired != live {
+		t.Fatalf("%d live handles, want %d", fired, live)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after run = %d, want 0", got)
+	}
+}
+
+// TestSweepPreservesPopOrder cancels interleaved events under enough
+// pressure to trigger compactions and checks the survivors still fire in
+// non-decreasing time order, exactly once each.
+func TestSweepPreservesPopOrder(t *testing.T) {
+	e := New(3)
+	var got []time.Duration
+	var events []Event
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(e.Rand().Intn(5000)) * time.Microsecond
+		events = append(events, e.Schedule(d, func() { got = append(got, e.Now()) }))
+	}
+	survivors := 0
+	for i := range events {
+		if i%3 == 0 {
+			events[i].Cancel()
+		} else {
+			survivors++
+		}
+	}
+	e.Run()
+	if len(got) != survivors {
+		t.Fatalf("fired %d events, want %d", len(got), survivors)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("pop order violated at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	e := New(1)
 	b.ReportAllocs()
@@ -235,4 +329,31 @@ func BenchmarkScheduleRun(b *testing.B) {
 		}
 	}
 	e.Run()
+}
+
+// BenchmarkScheduleCancel measures the cancel-heavy churn of pacing senders
+// that re-arm a pump timer on every ACK.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New(1)
+	noop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(time.Duration(i%1000)*time.Microsecond, noop)
+		ev.Cancel()
+		if e.Pending() > 4096 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkTicker measures periodic re-arming (one tick per iteration).
+func BenchmarkTicker(b *testing.B) {
+	e := New(1)
+	tk := e.Every(time.Millisecond, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunUntil(time.Duration(b.N) * time.Millisecond)
+	b.StopTimer()
+	tk.Stop()
 }

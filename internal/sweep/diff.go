@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pbecc/internal/stats"
+)
+
+// Delta is one tracked metric compared between a baseline and a current
+// result. RegressPct is signed so that positive means worse: for
+// higher-is-better metrics it is the percentage lost versus the baseline,
+// for lower-is-better metrics the percentage gained.
+type Delta struct {
+	Group      string  `json:"group"` // summary key: experiment/rat/scheme
+	Metric     string  `json:"metric"`
+	Base       float64 `json:"base"`
+	Cur        float64 `json:"cur"`
+	RegressPct float64 `json:"regress_pct"`
+}
+
+// trackedMetric is one gate-relevant scalar per summary group.
+type trackedMetric struct {
+	name         string
+	get          func(*Summary) float64
+	higherBetter bool
+}
+
+func trackedMetrics() []trackedMetric {
+	return []trackedMetric{
+		{"tput_mbps.mean", func(s *Summary) float64 { return s.Tput.Mean }, true},
+		{"delay_p95_ms.p50", func(s *Summary) float64 { return s.DelayP95.P50 }, false},
+		{"utilization.mean", func(s *Summary) float64 { return s.Utilization.Mean }, true},
+	}
+}
+
+// Diff compares the summary groups present in both results and returns one
+// delta per tracked metric, in group order. Groups present on only one
+// side are reported as errors: a silently shrinking baseline would let
+// regressions hide. The two results must come from the same spec (name
+// aside) — identical group keys can hide different seeds, durations or
+// noise levels, which shift every distribution.
+func Diff(base, cur *Result) ([]Delta, error) {
+	if err := checkSameSpec(base.Spec, cur.Spec); err != nil {
+		return nil, err
+	}
+	bi := map[string]*Summary{}
+	for i := range base.Summaries {
+		bi[base.Summaries[i].Key()] = &base.Summaries[i]
+	}
+	var deltas []Delta
+	seen := map[string]bool{}
+	for i := range cur.Summaries {
+		cs := &cur.Summaries[i]
+		k := cs.Key()
+		seen[k] = true
+		bs, ok := bi[k]
+		if !ok {
+			return nil, fmt.Errorf("group %s missing from baseline (regenerate it)", k)
+		}
+		for _, m := range trackedMetrics() {
+			d := Delta{Group: k, Metric: m.name, Base: m.get(bs), Cur: m.get(cs)}
+			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, m.higherBetter))
+			deltas = append(deltas, d)
+		}
+	}
+	for k := range bi {
+		if !seen[k] {
+			return nil, fmt.Errorf("group %s missing from current result", k)
+		}
+	}
+	return deltas, nil
+}
+
+// checkSameSpec errors unless the two specs describe the same matrix. The
+// cosmetic Name field is excluded so a renamed baseline stays comparable.
+func checkSameSpec(base, cur Spec) error {
+	base.Name, cur.Name = "", ""
+	bj, _ := json.Marshal(base)
+	cj, _ := json.Marshal(cur)
+	if string(bj) != string(cj) {
+		return fmt.Errorf("results come from different sweep specs (regenerate the baseline):\n  baseline: %s\n  current:  %s", bj, cj)
+	}
+	return nil
+}
+
+// regressPct returns how much worse cur is than base, in percent of base.
+// A zero or vanishing baseline cannot be expressed as a percentage: the
+// metric counts as regressed only if the current value is also worse in
+// absolute terms by any amount (reported as 100%).
+func regressPct(base, cur float64, higherBetter bool) float64 {
+	const eps = 1e-9
+	if base < eps {
+		if !higherBetter && cur > eps {
+			return 100
+		}
+		return 0
+	}
+	if higherBetter {
+		return (base - cur) / base * 100
+	}
+	return (cur - base) / base * 100
+}
+
+// WorstRegression returns the largest RegressPct across deltas (0 for an
+// empty slice).
+func WorstRegression(deltas []Delta) float64 {
+	worst := 0.0
+	for _, d := range deltas {
+		if d.RegressPct > worst {
+			worst = d.RegressPct
+		}
+	}
+	return worst
+}
+
+// ReadResult loads a sweep result file written by WriteResult.
+func ReadResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteResult writes the result as indented JSON. The encoding is
+// deterministic (fixed field order, two-decimal rounding), so files from
+// identical code and spec are byte-identical.
+func WriteResult(w io.Writer, r *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintDeltas renders deltas as an aligned table with the worst line
+// last, for the CI log.
+func FprintDeltas(w io.Writer, deltas []Delta) {
+	for _, d := range deltas {
+		mark := ""
+		if d.RegressPct > 0 {
+			mark = " worse"
+		} else if d.RegressPct < 0 {
+			mark = " better"
+		}
+		fmt.Fprintf(w, "%-40s %-20s base=%10.2f cur=%10.2f %+7.2f%%%s\n",
+			d.Group, d.Metric, d.Base, d.Cur, d.RegressPct, mark)
+	}
+	fmt.Fprintf(w, "worst regression: %.2f%%\n", WorstRegression(deltas))
+}

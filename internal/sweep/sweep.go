@@ -1,0 +1,297 @@
+// Package sweep expands a declarative scenario matrix - algorithms ×
+// scenario families × seeds × cell counts/RATs × measurement-noise levels,
+// the evaluation surface of the paper's Figs. 8-13 - into independent
+// jobs, executes them across a bounded worker pool, and aggregates the
+// per-job rows into machine-readable summaries.
+//
+// Every job runs on its own seeded sim.Engine, so each row is a pure
+// function of its job key: the aggregated output is bit-identical
+// regardless of worker count or completion order. That property is what
+// lets CI diff a sweep against a committed baseline (see Diff) and treat
+// any byte difference as a real behaviour change.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pbecc/internal/harness"
+	"pbecc/internal/stats"
+)
+
+// Spec is the declarative sweep matrix. Every combination of the axes is
+// one job; omitted axes collapse to a single default value.
+type Spec struct {
+	Name        string    `json:"name"`
+	Experiments []string  `json:"experiments"`            // scenario family IDs (harness.Families)
+	Schemes     []string  `json:"schemes"`                // congestion-control algorithms
+	Seeds       []int64   `json:"seeds"`                  // engine seeds
+	RATs        []string  `json:"rats,omitempty"`         // "lte"/"nr"; default ["lte"]
+	CellCounts  []int     `json:"cell_counts,omitempty"`  // 0 = family default
+	NoiseLevels []float64 `json:"noise_levels,omitempty"` // capacity-noise std fractions; default [0]
+	Busy        bool      `json:"busy,omitempty"`         // busy-cell variant of every scenario
+	DurationMs  int       `json:"duration_ms,omitempty"`  // 0 = family default
+}
+
+// Job is one expanded cell of the matrix.
+type Job struct {
+	Index      int     `json:"-"`
+	Experiment string  `json:"experiment"`
+	RAT        string  `json:"rat"`
+	Scheme     string  `json:"scheme"`
+	Cells      int     `json:"cells,omitempty"`
+	Noise      float64 `json:"noise,omitempty"`
+	Seed       int64   `json:"seed"`
+}
+
+func (j Job) params(spec *Spec) harness.Params {
+	return harness.Params{
+		Seed:          j.Seed,
+		Duration:      time.Duration(spec.DurationMs) * time.Millisecond,
+		Cells:         j.Cells,
+		RAT:           j.RAT,
+		Busy:          spec.Busy,
+		CapacityNoise: j.Noise,
+	}
+}
+
+// Jobs expands the matrix in a fixed documented order (experiment, RAT,
+// scheme, cells, noise, seed - outermost to innermost) and validates every
+// distinct combination against the harness registry before any job runs.
+// Schemes that do not consume the monitor's capacity feed ignore
+// measurement noise, so for them the noise axis collapses to its
+// noise-free point instead of running duplicate jobs.
+func (s *Spec) Jobs() ([]Job, error) {
+	if len(s.Experiments) == 0 || len(s.Schemes) == 0 || len(s.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep spec needs experiments, schemes and seeds (got %d/%d/%d)",
+			len(s.Experiments), len(s.Schemes), len(s.Seeds))
+	}
+	for _, seed := range s.Seeds {
+		if seed == 0 {
+			return nil, fmt.Errorf("seed 0 is reserved for family defaults; use any non-zero seed")
+		}
+	}
+	rats := s.RATs
+	if len(rats) == 0 {
+		rats = []string{harness.RATLTE}
+	}
+	cellCounts := s.CellCounts
+	if len(cellCounts) == 0 {
+		cellCounts = []int{0}
+	}
+	noises := s.NoiseLevels
+	if len(noises) == 0 {
+		noises = []float64{0}
+	}
+	// Validity depends only on (experiment, scheme, RAT, cells), not on
+	// seed or noise: validate each distinct combination once.
+	validated := map[string]bool{}
+	var jobs []Job
+	for _, exp := range s.Experiments {
+		for _, rat := range rats {
+			for _, scheme := range s.Schemes {
+				noiseAxis := noises
+				if !harness.SchemeUsesMonitor(scheme) {
+					noiseAxis = []float64{0}
+				}
+				for _, cells := range cellCounts {
+					for _, noise := range noiseAxis {
+						for _, seed := range s.Seeds {
+							j := Job{Index: len(jobs), Experiment: exp, RAT: rat,
+								Scheme: scheme, Cells: cells, Noise: noise, Seed: seed}
+							key := fmt.Sprintf("%s|%s|%s|%d", exp, rat, scheme, cells)
+							if !validated[key] {
+								if _, err := harness.BuildScenario(exp, scheme, j.params(s)); err != nil {
+									return nil, fmt.Errorf("job %d: %w", j.Index, err)
+								}
+								validated[key] = true
+							}
+							jobs = append(jobs, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Row is one job's measured result. Metrics are rounded to two decimals so
+// result files stay stable and diffable.
+type Row struct {
+	Experiment string  `json:"experiment"`
+	RAT        string  `json:"rat"`
+	Scheme     string  `json:"scheme"`
+	Cells      int     `json:"cells,omitempty"`
+	Noise      float64 `json:"noise,omitempty"`
+	Seed       int64   `json:"seed"`
+
+	TputMbps    float64 `json:"tput_mbps"`
+	DelayP50Ms  float64 `json:"delay_p50_ms"`
+	DelayP95Ms  float64 `json:"delay_p95_ms"`
+	Utilization float64 `json:"utilization"` // achieved / nominal peak capacity
+	LossPct     float64 `json:"loss_pct"`
+	CATriggered bool    `json:"ca_triggered,omitempty"`
+}
+
+// Metric is the distribution of one metric across a summary group's jobs.
+type Metric struct {
+	Mean float64 `json:"mean"`
+	P10  float64 `json:"p10"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+}
+
+func metricOf(s *stats.Series) Metric {
+	return Metric{
+		Mean: stats.Round2(s.Mean()),
+		P10:  stats.Round2(s.Percentile(10)),
+		P50:  stats.Round2(s.Percentile(50)),
+		P90:  stats.Round2(s.Percentile(90)),
+	}
+}
+
+// Summary aggregates every row of one (experiment, RAT, scheme) group:
+// the unit the CI regression gate tracks.
+type Summary struct {
+	Experiment  string `json:"experiment"`
+	RAT         string `json:"rat"`
+	Scheme      string `json:"scheme"`
+	Jobs        int    `json:"jobs"`
+	Tput        Metric `json:"tput_mbps"`
+	DelayP95    Metric `json:"delay_p95_ms"`
+	Utilization Metric `json:"utilization"`
+}
+
+// Key identifies a summary group across result files.
+func (s *Summary) Key() string {
+	return s.Experiment + "/" + s.RAT + "/" + s.Scheme
+}
+
+// Result is a completed sweep: the spec it ran, one row per job in
+// expansion order, and the per-group summaries.
+type Result struct {
+	Spec      Spec      `json:"spec"`
+	Rows      []Row     `json:"rows"`
+	Summaries []Summary `json:"summaries"`
+}
+
+// Run expands the spec and executes every job across at most workers
+// goroutines (default GOMAXPROCS). Rows land at their job's index, so the
+// result is identical for any worker count.
+func Run(spec *Spec, workers int) (*Result, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	rows := make([]Row, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i] = runJob(spec, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return &Result{Spec: *spec, Rows: rows, Summaries: Summarize(rows)}, nil
+}
+
+// runJob executes one job on a private engine and measures the first flow,
+// which every scenario family reserves for the scheme under test.
+func runJob(spec *Spec, j Job) Row {
+	sc, err := harness.BuildScenario(j.Experiment, j.Scheme, j.params(spec))
+	if err != nil {
+		// Jobs() validated this combination already.
+		panic(fmt.Sprintf("sweep: job %d became unbuildable: %v", j.Index, err))
+	}
+	res := harness.Run(sc)
+	f := res.Flows[0]
+	row := Row{
+		Experiment: j.Experiment, RAT: j.RAT, Scheme: j.Scheme,
+		Cells: j.Cells, Noise: j.Noise, Seed: j.Seed,
+		TputMbps:    stats.Round2(f.AvgTputMbps),
+		DelayP50Ms:  stats.Round2(f.Delay.Percentile(50)),
+		DelayP95Ms:  stats.Round2(f.Delay.Percentile(95)),
+		CATriggered: res.CATriggered,
+	}
+	if nominal := sc.NominalCapacityMbps(); nominal > 0 {
+		row.Utilization = stats.Round2(f.AvgTputMbps / nominal)
+	}
+	if total := f.Received + f.Lost; total > 0 {
+		row.LossPct = stats.Round2(100 * float64(f.Lost) / float64(total))
+	}
+	return row
+}
+
+// Summarize groups rows by (experiment, RAT, scheme) and computes each
+// group's metric distributions, sorted by group key.
+func Summarize(rows []Row) []Summary {
+	type acc struct {
+		tput, p95, util stats.Series
+		jobs            int
+	}
+	groups := map[string]*acc{}
+	meta := map[string]Summary{}
+	for _, r := range rows {
+		s := Summary{Experiment: r.Experiment, RAT: r.RAT, Scheme: r.Scheme}
+		k := s.Key()
+		a := groups[k]
+		if a == nil {
+			a = &acc{}
+			groups[k] = a
+			meta[k] = s
+		}
+		a.jobs++
+		a.tput.Add(r.TputMbps)
+		a.p95.Add(r.DelayP95Ms)
+		a.util.Add(r.Utilization)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Summary, 0, len(keys))
+	for _, k := range keys {
+		a := groups[k]
+		s := meta[k]
+		s.Jobs = a.jobs
+		s.Tput = metricOf(&a.tput)
+		s.DelayP95 = metricOf(&a.p95)
+		s.Utilization = metricOf(&a.util)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Smoke returns the built-in CI smoke sweep: small enough for a PR gate,
+// wide enough to cross every axis (two algorithms, three families, four
+// seeds, both RATs, one noisy level).
+func Smoke() *Spec {
+	return &Spec{
+		Name:        "smoke",
+		Experiments: []string{"steady", "competition", "multiflow"},
+		Schemes:     []string{"pbe", "bbr"},
+		Seeds:       []int64{1, 2, 3, 4},
+		RATs:        []string{harness.RATLTE, harness.RATNR},
+		NoiseLevels: []float64{0, 0.1},
+		DurationMs:  1000,
+	}
+}
