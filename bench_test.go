@@ -81,6 +81,30 @@ func BenchmarkNRSlotScheduling(b *testing.B) {
 	}
 }
 
+// RTC benches: the frame-level media subsystem. BenchmarkRTCCall is the
+// one-to-one adaptive call; BenchmarkSFUFanout is the 32-subscriber
+// fan-out across LTE and NR cells, the heaviest scenario the sweep's
+// regression gate tracks.
+
+func benchFamily(b *testing.B, family, scheme string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sc, err := harness.BuildScenario(family, scheme, harness.Params{Seed: 1, Duration: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := harness.Run(sc)
+		if res.Flows[0].Frames == nil || res.Flows[0].Frames.Released == 0 {
+			b.Fatalf("%s/%s released no frames", family, scheme)
+		}
+	}
+}
+
+func BenchmarkRTCCallPBE(b *testing.B)   { benchFamily(b, "rtc", "pbe") }
+func BenchmarkRTCCallGCC(b *testing.B)   { benchFamily(b, "rtc", "gcc") }
+func BenchmarkSFUFanoutPBE(b *testing.B) { benchFamily(b, "sfu", "pbe") }
+func BenchmarkSFUFanoutGCC(b *testing.B) { benchFamily(b, "sfu", "gcc") }
+
 // Ablation benches: the design-choice studies DESIGN.md calls out.
 
 func BenchmarkAblationSuite(b *testing.B) { benchExperiment(b, "ablation") }

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"pbecc/internal/harness"
@@ -86,17 +87,33 @@ func runSweep(specPath string, smoke bool, workers int, out string) {
 	fmt.Fprintf(os.Stderr, "sweep %q: %d jobs in %v\n",
 		spec.Name, len(res.Rows), time.Since(start).Round(time.Millisecond))
 
-	w := os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
+	if out == "-" {
+		if err := sweep.WriteResult(os.Stdout, res); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		return
 	}
-	if err := sweep.WriteResult(w, res); err != nil {
+	// Write atomically (temp file + rename) so an interrupted run cannot
+	// leave a truncated baseline behind for CI to diff against. fatal()
+	// exits without running defers, so error paths clean the temp file
+	// up explicitly.
+	tmp, err := os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp*")
+	if err != nil {
 		fatal(err)
+	}
+	fail := func(err error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		fatal(err)
+	}
+	if err := sweep.WriteResult(tmp, res); err != nil {
+		fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		fail(err)
+	}
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		fail(err)
 	}
 }
 

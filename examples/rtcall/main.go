@@ -1,0 +1,59 @@
+// Rtcall: frame-level interactive video over a cellular last hop - the
+// workload class PBE-CC's low-latency claim is about. Part one runs a
+// one-to-one adaptive call on an LTE cell and compares schemes on
+// frame-level QoE (what a video call feels like) rather than throughput.
+// Part two stands up an SFU fan-out: one simulcast ingest serving 32
+// subscribers spread across LTE and NR cells, each leg picking its own
+// rate-ladder layer from its congestion controller.
+package main
+
+import (
+	"fmt"
+
+	"pbecc/internal/harness"
+)
+
+func main() {
+	fmt.Println("one-to-one 30 fps call, 4 s, single LTE cell")
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s %-10s\n",
+		"scheme", "tput(Mbit/s)", "p50(ms)", "p95(ms)", "late(%)", "freeze(ms)")
+	for _, scheme := range []string{"pbe", "gcc", "bbr", "cubic"} {
+		sc, err := harness.BuildScenario("rtc", scheme, harness.Params{Seed: 21})
+		if err != nil {
+			panic(err)
+		}
+		f := harness.Run(sc).Flows[0]
+		fmt.Printf("%-8s %-12.2f %-12.1f %-12.1f %-10.1f %-10d\n",
+			scheme, f.AvgTputMbps,
+			f.Frames.Delay.Percentile(50), f.Frames.Delay.Percentile(95),
+			f.Frames.LatePct(), f.Frames.FreezeTime.Milliseconds())
+	}
+
+	fmt.Printf("\nSFU fan-out: 1 ingest -> %d subscribers across LTE and NR cells\n", harness.SFUSubscribers)
+	fmt.Printf("%-8s %-14s %-12s %-12s %-10s\n",
+		"scheme", "sub0 p95(ms)", "sub0 late%", "legs>=1Mbps", "total(Mbit/s)")
+	for _, scheme := range []string{"pbe", "gcc", "bbr"} {
+		sc, err := harness.BuildScenario("sfu", scheme, harness.Params{Seed: 21})
+		if err != nil {
+			panic(err)
+		}
+		res := harness.Run(sc)
+		var total float64
+		healthy := 0
+		for _, f := range res.Flows {
+			total += f.AvgTputMbps
+			if f.AvgTputMbps >= 1 {
+				healthy++
+			}
+		}
+		f0 := res.Flows[0]
+		fmt.Printf("%-8s %-14.1f %-12.1f %-12d %-10.1f\n",
+			scheme, f0.Frames.Delay.Percentile(95), f0.Frames.LatePct(), healthy, total)
+	}
+
+	fmt.Println("\nthe frame metrics, not the throughput column, are the story: every")
+	fmt.Println("scheme can move the bits, but only capacity-tracking control keeps")
+	fmt.Println("capture-to-play delay flat enough for interactive video. The GCC")
+	fmt.Println("baseline probes its way to the right ladder rung in seconds; PBE-CC")
+	fmt.Println("reads the rung straight off the physical layer.")
+}

@@ -1,7 +1,7 @@
 // Videostream: the application the paper's introduction motivates. A
 // 25 Mbit/s video plays while the viewer walks through the -85 -> -105 dBm
-// trajectory; the player buffers arriving bytes and drains them at the
-// video bitrate. Startup delay and rebuffering time depend directly on
+// trajectory; the rtc.StreamPlayer models the client buffer draining at
+// the video bitrate. Startup delay and rebuffering time depend directly on
 // how well the transport tracks the capacity dip - PBE-CC's fine-grained
 // feedback keeps the buffer fed through the trough.
 package main
@@ -12,18 +12,11 @@ import (
 
 	"pbecc/internal/harness"
 	"pbecc/internal/phy"
+	"pbecc/internal/rtc"
 	"pbecc/internal/trace"
 )
 
-const (
-	videoMbps    = 25.0
-	startupSecs  = 1.0 // seconds of video buffered before playback starts
-	segmentMbits = videoMbps * startupSecs
-	// maxBufferSecs caps the client buffer (players do not prefetch the
-	// whole movie); the transport cannot ride through a long capacity
-	// trough on prefetched data.
-	maxBufferSecs = 2.0
-)
+const videoMbps = 25.0
 
 func scenario(scheme string) *harness.Scenario {
 	return &harness.Scenario{
@@ -40,46 +33,21 @@ func scenario(scheme string) *harness.Scenario {
 	}
 }
 
-// play simulates the client buffer over the flow's 100 ms throughput
-// timeline, returning startup delay and total rebuffering time.
-func play(f *harness.FlowResult) (startup, rebuffer time.Duration) {
-	const step = 100 * time.Millisecond
-	bufferMbit := 0.0
-	started := false
-	for i := range f.TimelineT {
-		arrived := f.TimelineR[i] * step.Seconds() // Mbit in this window
-		bufferMbit += arrived
-		if max := videoMbps * maxBufferSecs; bufferMbit > max {
-			bufferMbit = max
-		}
-		if !started {
-			if bufferMbit >= segmentMbits {
-				started = true
-				startup = f.TimelineT[i]
-			}
-			continue
-		}
-		need := videoMbps * step.Seconds()
-		if bufferMbit >= need {
-			bufferMbit -= need
-		} else {
-			// Stall: consume what is there, count the shortfall as
-			// rebuffering time.
-			short := (need - bufferMbit) / videoMbps
-			rebuffer += time.Duration(short * float64(time.Second))
-			bufferMbit = 0
-		}
-	}
-	return startup, rebuffer
-}
-
 func main() {
 	fmt.Printf("25 Mbit/s video over a 10 MHz cell, walking -85 -> -105 -> -85 dBm\n\n")
 	fmt.Printf("%-8s %-14s %-16s %-12s %-10s\n",
 		"scheme", "startup(ms)", "rebuffering(ms)", "tput(Mbit/s)", "p95 delay")
+	player := rtc.StreamPlayer{
+		BitrateMbps: videoMbps,
+		StartupSecs: 1, // one buffered second before playback starts
+		// The buffer cap keeps players from prefetching the movie; the
+		// transport cannot ride through a long capacity trough on
+		// prefetched data.
+		MaxBufferSecs: 2,
+	}
 	for _, scheme := range []string{"pbe", "bbr", "cubic", "sprout"} {
 		f := harness.Run(scenario(scheme)).Flows[0]
-		startup, rebuffer := play(f)
+		startup, rebuffer := player.Play(100*time.Millisecond, f.TimelineT, f.TimelineR)
 		fmt.Printf("%-8s %-14d %-16d %-12.1f %-10.1f\n",
 			scheme, startup.Milliseconds(), rebuffer.Milliseconds(),
 			f.AvgTputMbps, f.Delay.Percentile(95))

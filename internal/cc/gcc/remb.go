@@ -1,0 +1,69 @@
+package gcc
+
+import "time"
+
+// REMB is the receiver side of GCC: it runs the arrival-time filter,
+// overuse detector and AIMD rate region on every received data packet and
+// publishes the resulting receiver-estimated maximum bitrate. It
+// implements cc.FeedbackSource, so in the simulator the estimate rides in
+// the acknowledgement's feedback-rate word exactly as a REMB message rides
+// in RTCP; over real sockets the same word travels in the
+// transport.REMB message.
+type REMB struct {
+	ia   interArrival
+	tl   trendline
+	det  *detector
+	aimd *aimd
+	in   *rateWindow
+
+	lastSignal usage
+}
+
+// StartRate is the initial AIMD target before any measurement, matching
+// the conservative WebRTC default.
+const StartRate = 1e6
+
+// incomingWindow sizes the R_hat throughput measurement.
+const incomingWindow = 500 * time.Millisecond
+
+// NewREMB returns a receiver-side estimator starting at StartRate.
+func NewREMB() *REMB {
+	return &REMB{
+		det:  newDetector(),
+		aimd: newAIMD(StartRate),
+		in:   newRateWindow(incomingWindow),
+	}
+}
+
+// Rate returns the current receiver-side estimate in bits per second.
+func (r *REMB) Rate() float64 { return r.aimd.rate }
+
+// State exposes the detector hypothesis (for tests and instrumentation):
+// 0 normal, 1 overusing, 2 underusing.
+func (r *REMB) State() int { return int(r.lastSignal) }
+
+// Observe folds one received data packet into the estimator. owd is the
+// packet's one-way delay (arrival minus send timestamp), so send time is
+// recovered as now-owd; in the simulator both clocks are the engine's
+// virtual clock, mirroring the synchronized-enough timestamps real GCC
+// gets from RTP.
+func (r *REMB) Observe(now, owd time.Duration, bytes int) float64 {
+	r.in.add(now, bytes)
+	send := now - owd
+	sd, ad, ok := r.ia.add(send, now, bytes)
+	if !ok {
+		return r.aimd.rate
+	}
+	deltaMs := float64((ad - sd).Microseconds()) / 1000
+	trend := r.tl.update(now, deltaMs)
+	r.lastSignal = r.det.detect(trend, sd, r.tl.numDeltas, now)
+	r.aimd.update(now, r.lastSignal, r.in.rate(now))
+	return r.aimd.rate
+}
+
+// Feedback implements cc.FeedbackSource: the estimate is attached to every
+// acknowledgement; the Internet-bottleneck bit is PBE-specific and stays
+// false.
+func (r *REMB) Feedback(now time.Duration, owd time.Duration, dataBytes int) (float64, bool) {
+	return r.Observe(now, owd, dataBytes), false
+}

@@ -41,6 +41,18 @@ type Sender struct {
 	// experiment instrumentation).
 	OnAckHook func(AckSample)
 
+	// Source, when set, supplies the next application packet to transmit
+	// (frame-level media from package rtc). Returning nil pauses
+	// transmission until Pump is called; when unset, the sender generates
+	// MSS-sized full-buffer packets. The sender assigns FlowID, Seq and
+	// SentAt; the source provides Size and any media metadata.
+	Source func(now time.Duration) *netsim.Packet
+
+	// AppLimited marks packets sent while the application, not the
+	// controller, is the binding constraint; their delivery-rate samples
+	// must not be read as network capacity. Media sources maintain it.
+	AppLimited bool
+
 	// Counters.
 	SentPackets  uint64
 	AckedPackets uint64
@@ -55,6 +67,7 @@ type sentPkt struct {
 	sentAt              time.Duration
 	deliveredAtSend     uint64
 	deliveredTimeAtSend time.Duration
+	appLimited          bool
 }
 
 // lossSweepInterval is how often the in-flight list is scanned for
@@ -116,6 +129,14 @@ func (s *Sender) Stop() {
 // Running reports whether the sender is transmitting.
 func (s *Sender) Running() bool { return s.running }
 
+// Pump attempts transmission immediately; media sources call it when new
+// frames arrive while the sender is source-starved.
+func (s *Sender) Pump() {
+	if s.running {
+		s.pump()
+	}
+}
+
 // pump transmits as permitted by the controller's window and pacing rate.
 func (s *Sender) pump() {
 	if !s.running {
@@ -127,19 +148,23 @@ func (s *Sender) pump() {
 		if s.inflightBytes+s.mss > cwnd && s.inflightBytes > 0 {
 			return // window-limited: an ACK or loss will re-pump
 		}
-		if rate := s.ctrl.PacingRate(); rate > 0 {
-			if now < s.nextRelease {
-				s.schedulePump(s.nextRelease - now)
-				return
-			}
-			gap := time.Duration(float64(s.mss*8) / rate * float64(time.Second))
+		rate := s.ctrl.PacingRate()
+		if rate > 0 && now < s.nextRelease {
+			s.schedulePump(s.nextRelease - now)
+			return
+		}
+		sentBytes := s.sendOne(now)
+		if sentBytes == 0 {
+			return // source-starved: a Pump will restart transmission
+		}
+		if rate > 0 {
+			gap := time.Duration(float64(sentBytes*8) / rate * float64(time.Second))
 			if s.nextRelease < now-gap {
 				// Idle restart: do not accumulate send credit.
 				s.nextRelease = now
 			}
 			s.nextRelease += gap
 		}
-		s.sendOne(now)
 	}
 }
 
@@ -148,23 +173,35 @@ func (s *Sender) schedulePump(d time.Duration) {
 	s.pumpEv = s.eng.Schedule(d, s.pumpFn)
 }
 
-func (s *Sender) sendOne(now time.Duration) {
+// sendOne transmits the next packet and returns its size in bytes (0 when
+// a media source has nothing queued).
+func (s *Sender) sendOne(now time.Duration) int {
+	var p *netsim.Packet
+	if s.Source != nil {
+		if p = s.Source(now); p == nil {
+			return 0
+		}
+	} else {
+		p = &netsim.Packet{Size: s.mss}
+	}
 	s.nextSeq++
 	seq := s.nextSeq
-	p := &netsim.Packet{FlowID: s.FlowID, Seq: seq, Size: s.mss, SentAt: now}
+	p.FlowID, p.Seq, p.SentAt = s.FlowID, seq, now
 	s.sent[seq] = &sentPkt{
 		seq:                 seq,
-		bytes:               s.mss,
+		bytes:               p.Size,
 		sentAt:              now,
 		deliveredAtSend:     s.delivered,
 		deliveredTimeAtSend: s.deliveredAt,
+		appLimited:          s.AppLimited,
 	}
 	s.order = append(s.order, seq)
-	s.inflightBytes += s.mss
+	s.inflightBytes += p.Size
 	s.SentPackets++
-	s.SentBytes += uint64(s.mss)
-	s.ctrl.OnSent(now, seq, s.mss, s.inflightBytes)
+	s.SentBytes += uint64(p.Size)
+	s.ctrl.OnSent(now, seq, p.Size, s.inflightBytes)
 	s.out.HandlePacket(now, p)
+	return p.Size
 }
 
 // HandlePacket processes acknowledgements arriving from the receiver.
@@ -209,6 +246,7 @@ func (s *Sender) HandlePacket(now time.Duration, p *netsim.Packet) {
 		SRTT:               s.srtt,
 		OneWayDelay:        p.Ack.ReceivedAt - info.sentAt,
 		DeliveryRate:       rate,
+		AppLimited:         info.appLimited,
 		InflightBytes:      s.inflightBytes,
 		FeedbackRate:       p.Ack.FeedbackRate,
 		InternetBottleneck: p.Ack.InternetBottleneck,

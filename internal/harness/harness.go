@@ -13,6 +13,7 @@ import (
 	"pbecc/internal/cc/bbr"
 	"pbecc/internal/cc/copa"
 	"pbecc/internal/cc/cubic"
+	"pbecc/internal/cc/gcc"
 	"pbecc/internal/cc/pcc"
 	"pbecc/internal/cc/sprout"
 	"pbecc/internal/cc/verus"
@@ -23,13 +24,15 @@ import (
 	"pbecc/internal/nr"
 	"pbecc/internal/pdcch"
 	"pbecc/internal/phy"
+	"pbecc/internal/rtc"
 	"pbecc/internal/sim"
 	"pbecc/internal/stats"
 )
 
-// Schemes lists every congestion-control algorithm under test, in the
-// paper's order (§6.1).
-var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace"}
+// Schemes lists every congestion-control algorithm under test: the
+// paper's order (§6.1) plus the GCC/REMB real-time baseline added with
+// the rtc subsystem.
+var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace", "gcc"}
 
 // SchemeUsesMonitor reports whether a scheme consumes the PBE monitor's
 // physical-layer capacity feed. Only these schemes react to the
@@ -96,6 +99,13 @@ type FlowSpec struct {
 	// on and off (the §6.3.3 controlled competitor).
 	OnPeriod  time.Duration
 	OffPeriod time.Duration
+
+	// Media, when non-nil, replaces the full-buffer sender with the
+	// frame-level RTC pipeline (encoder -> packetizer/pacer -> jitter
+	// buffer); Scheme still chooses the congestion controller. Ignored
+	// for "fixed" flows and in SFU scenarios (where every non-fixed flow
+	// is a subscriber leg of the scenario's SFU).
+	Media *rtc.MediaSpec
 }
 
 // Scenario is a complete experiment.
@@ -130,6 +140,31 @@ type Scenario struct {
 	// runner's measurement-robustness axis, after Zhu et al.'s methodology
 	// for stress-testing measurement-based congestion control.
 	CapacityNoise float64
+
+	// SFU, when non-nil, turns the scenario into an SFU fan-out: one
+	// simulcast ingest stream enters a frame-level relay over a wired
+	// path, and every non-fixed flow becomes a subscriber leg from the
+	// relay through the cellular network to its UE.
+	SFU *SFUSpec
+}
+
+// SFUSpec configures the fan-out relay and its ingest leg.
+type SFUSpec struct {
+	// Media describes the ingest stream; Simulcast is forced on (an SFU
+	// needs every ladder rung to select from).
+	Media rtc.MediaSpec
+
+	// IngestScheme is the ingest leg's congestion controller. The
+	// default "provisioned" paces at twice the simulcast bundle rate
+	// without adapting - a production SFU's dedicated uplink - so the
+	// scenario's congestion dynamics live on the subscriber legs. Any
+	// scheme name (e.g. "gcc") puts a real controller on the ingest.
+	IngestScheme string
+
+	// Ingest path shape: server -> SFU over a wired link.
+	IngestRTT   time.Duration // round-trip propagation (default 20 ms)
+	IngestRate  float64       // bottleneck rate (0 = unconstrained)
+	IngestQueue int           // drop-tail queue bytes (0 = unbounded)
 }
 
 // NominalCapacityMbps returns the scenario's aggregate peak physical
@@ -180,7 +215,12 @@ type FlowResult struct {
 	TimelineR []float64
 	TimelineD []float64
 
+	// Frames holds frame-level QoE metrics for media flows (nil for
+	// bulk flows).
+	Frames *rtc.FrameStats
+
 	snd     *cc.Sender
+	msnd    *rtc.Sender
 	windows *stats.Windowed
 	start   time.Duration
 	stop    time.Duration
@@ -390,6 +430,10 @@ func Run(sc *Scenario) *Result {
 
 	// Flows.
 	end := sc.Duration
+	var sfu *rtc.SFU
+	if sc.SFU != nil {
+		sfu = buildSFUIngest(eng, sc)
+	}
 	for i := range sc.Flows {
 		fs := &sc.Flows[i]
 		stop := fs.Stop
@@ -411,41 +455,45 @@ func Run(sc *Scenario) *Result {
 		if p, ok := ctrl.(*core.Sender); ok && sc.MisreportGuard > 0 {
 			p.MisreportGuard = sc.MisreportGuard
 		}
+		fb := flowFeedback(fs, fr, monitors, clientGroups)
 
-		var snd *cc.Sender
-		ackLink := netsim.NewLink(eng, 0, fs.RTTBase/2, 0,
-			netsim.HandlerFunc(func(now time.Duration, p *netsim.Packet) {
-				snd.HandlePacket(now, p)
-			}))
-		rcv := cc.NewReceiver(eng, fs.ID, ackLink)
-		if fs.Scheme == "pbe" {
-			client := core.NewClient(monitors[fs.UE])
-			grp := clientGroups[fs.UE]
-			grp.clients = append(grp.clients, client)
-			rcv.Feedback = &sharedFeedback{c: client, grp: grp}
-			fr.pbe = client
-		}
 		windows := stats.NewWindowed(100 * time.Millisecond)
 		start := fs.Start
-		rcv.OnData = func(now time.Duration, p *netsim.Packet, owd time.Duration) {
-			if now < start || now > stop {
+		fr.windows = windows
+		fr.start, fr.stop = start, stop
+		onData := func(now time.Duration, p *netsim.Packet, owd time.Duration) {
+			if now < start || now > stop || p.Padding {
 				return
 			}
 			windows.Add(now, p.Size)
 			fr.Delay.AddDuration(owd)
 		}
-		dev.RegisterFlow(fs.ID, rcv)
 
-		// Data path: sender -> (internet bottleneck) -> tower -> UE.
-		var dataPath netsim.Handler = dev
-		dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
-		snd = cc.NewSender(eng, fs.ID, dataPath, ctrl)
-		fr.snd = snd
-		fr.windows = windows
-		fr.start, fr.stop = start, stop
-		eng.At(start, snd.Start)
-		if stop < end {
-			eng.At(stop, snd.Stop)
+		switch {
+		case sfu != nil:
+			attachSubscriber(eng, sfu, fs, fr, dev, ctrl, fb, onData, end)
+		case fs.Media != nil:
+			attachMediaFlow(eng, fs, fr, dev, ctrl, fb, onData, end)
+		default:
+			var snd *cc.Sender
+			ackLink := netsim.NewLink(eng, 0, fs.RTTBase/2, 0,
+				netsim.HandlerFunc(func(now time.Duration, p *netsim.Packet) {
+					snd.HandlePacket(now, p)
+				}))
+			rcv := cc.NewReceiver(eng, fs.ID, ackLink)
+			rcv.Feedback = fb
+			rcv.OnData = onData
+			dev.RegisterFlow(fs.ID, rcv)
+
+			// Data path: sender -> (internet bottleneck) -> tower -> UE.
+			var dataPath netsim.Handler = dev
+			dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
+			snd = cc.NewSender(eng, fs.ID, dataPath, ctrl)
+			fr.snd = snd
+			eng.At(start, snd.Start)
+			if stop < end {
+				eng.At(stop, snd.Stop)
+			}
 		}
 	}
 
@@ -498,6 +546,9 @@ func Run(sc *Scenario) *Result {
 		if fr.snd != nil {
 			fr.Lost = fr.snd.LostPackets
 			fr.Received = fr.snd.AckedPackets
+		}
+		if fr.msnd != nil && fr.Frames != nil {
+			fr.Frames.SenderDrop = fr.msnd.FramesDropped
 		}
 		if fr.pbe != nil {
 			fr.InternetFrac = fr.pbe.InternetFraction()
@@ -609,11 +660,30 @@ func scheduleOnOff(eng *sim.Engine, ct *netsim.CrossTraffic, fs *FlowSpec, stop 
 	cycle(fs.Start)
 }
 
+// flowFeedback builds the receiver-side feedback source a scheme needs:
+// the PBE client (shared across the UE's PBE flows) or the GCC REMB
+// estimator; nil for schemes without receiver feedback.
+func flowFeedback(fs *FlowSpec, fr *FlowResult, monitors map[int]*core.Monitor, clientGroups map[int]*clientGroup) cc.FeedbackSource {
+	switch fs.Scheme {
+	case "pbe":
+		client := core.NewClient(monitors[fs.UE])
+		grp := clientGroups[fs.UE]
+		grp.clients = append(grp.clients, client)
+		fr.pbe = client
+		return &sharedFeedback{c: client, grp: grp}
+	case "gcc":
+		return gcc.NewREMB()
+	}
+	return nil
+}
+
 // newController builds a controller by scheme name.
 func newController(name string) cc.Controller {
 	switch name {
 	case "pbe":
 		return core.NewSender()
+	case "gcc":
+		return gcc.New()
 	case "bbr":
 		return bbr.New()
 	case "cubic":

@@ -104,6 +104,8 @@ func Families() []Family {
 		{"mobility", "mobility trajectory (LTE) / mmWave blockage (NR)", []string{RATLTE, RATNR}, false, MobilityScenario},
 		{"competition", "on-off competitor sharing the cell", []string{RATLTE, RATNR}, false, CompetitionScenario},
 		{"multiflow", "two concurrent flows from one device", []string{RATLTE, RATNR}, false, MultiflowScenario},
+		{"rtc", "interactive frame-level video call (GoP source + jitter buffer)", []string{RATLTE, RATNR}, true, RTCScenario},
+		{"sfu", "SFU fan-out: one ingest to 32 subscribers across LTE and NR cells", []string{RATLTE, RATNR}, true, SFUScenario},
 	}
 }
 

@@ -27,6 +27,28 @@ type Packet struct {
 
 	// Retransmitted marks loss-recovery transmissions.
 	Retransmitted bool
+
+	// Padding marks bandwidth-probe filler from media senders: it is
+	// paced, carried and acknowledged like data but contains no frame
+	// payload, so goodput accounting skips it.
+	Padding bool
+
+	// Media carries frame-level metadata for real-time media flows
+	// (zero-valued for bulk flows): which encoded frame the packet
+	// belongs to, the frame's total size for receiver-side reassembly,
+	// and the capture timestamp for deadline metrics.
+	Media MediaInfo
+}
+
+// MediaInfo is the RTP-like per-packet media metadata. A packet is a media
+// packet when FrameBytes is positive.
+type MediaInfo struct {
+	FrameSeq   uint64        // capture-tick index, shared across simulcast layers
+	FrameBytes int           // total bytes of the frame (for reassembly)
+	Offset     int           // byte offset of this packet within the frame
+	Layer      int8          // simulcast rate-ladder layer index
+	Keyframe   bool          // frame is a GoP-opening keyframe
+	CapturedAt time.Duration // when the encoder produced the frame
 }
 
 // AckInfo is the acknowledgement payload: which data packet is being

@@ -1,0 +1,181 @@
+package rtc
+
+import (
+	"time"
+
+	"pbecc/internal/netsim"
+	"pbecc/internal/sim"
+	"pbecc/internal/stats"
+)
+
+// skipWait is how long the jitter buffer waits for an incomplete frame
+// once a newer frame is ready before giving up on the gap and moving on.
+const skipWait = 100 * time.Millisecond
+
+// FrameStats are the per-flow frame-level QoE metrics the rtc scenario
+// family reports: the numbers an interactive application actually feels,
+// as opposed to bulk throughput.
+type FrameStats struct {
+	Released     uint64 // frames delivered to the decoder, in order
+	Skipped      uint64 // frames abandoned (lost or hopelessly late)
+	PastDeadline uint64 // released, but after the play deadline
+	SenderDrop   uint64 // shed by the sender pacer before transmission
+
+	// FreezeTime accumulates display stall: any gap between consecutive
+	// releases beyond 1.5 frame intervals counts as frozen video.
+	FreezeTime time.Duration
+
+	// Delay is the capture-to-release latency of every released frame.
+	Delay stats.DurationSeries
+}
+
+// LatePct is the percentage of frames that missed their deadline or never
+// played at all. A flow that played nothing missed everything: reporting
+// 0 would make total collapse indistinguishable from perfection in the
+// sweep's regression gate.
+func (fs *FrameStats) LatePct() float64 {
+	total := fs.Released + fs.Skipped
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(fs.PastDeadline+fs.Skipped) / float64(total)
+}
+
+// JitterBuffer reassembles media packets into frames and releases frames
+// strictly in capture order: frame n+1 never plays before frame n. A gap
+// (frame lost in flight or shed by the sender) blocks playout until a
+// newer frame has been complete for skipWait, at which point the missing
+// frames are abandoned and playout resumes — mirroring how a video
+// decoder must wait for, then give up on, missing references.
+type JitterBuffer struct {
+	eng  *sim.Engine
+	spec MediaSpec
+
+	next    uint64 // next frame seq to release
+	started bool
+	pending map[uint64]*pendingFrame
+
+	lastRelease time.Duration
+
+	// OnFrame, when set, observes every released frame with its
+	// capture-to-release delay.
+	OnFrame func(f Frame, delay time.Duration)
+
+	stats FrameStats
+}
+
+type pendingFrame struct {
+	frame    Frame
+	got      int
+	seen     map[int]bool // packet offsets received, so duplicates cannot complete a frame
+	complete bool
+}
+
+// NewJitterBuffer returns a buffer for one media flow.
+func NewJitterBuffer(eng *sim.Engine, spec MediaSpec) *JitterBuffer {
+	return &JitterBuffer{eng: eng, spec: spec.withDefaults(), pending: map[uint64]*pendingFrame{}}
+}
+
+// Stats exposes the accumulated frame metrics.
+func (jb *JitterBuffer) Stats() *FrameStats { return &jb.stats }
+
+// Add folds one received media packet in, releasing any frames that
+// become playable.
+func (jb *JitterBuffer) Add(now time.Duration, p *netsim.Packet) {
+	m := p.Media
+	if m.FrameBytes == 0 {
+		return // not a media packet
+	}
+	if jb.started && m.FrameSeq < jb.next {
+		return // packet of an already released or abandoned frame
+	}
+	if !jb.started {
+		// First packet pins the playout origin: everything older than the
+		// first frame seen was never sent to us.
+		jb.next = m.FrameSeq
+		jb.started = true
+	}
+	pf := jb.pending[m.FrameSeq]
+	if pf == nil {
+		pf = &pendingFrame{
+			frame: Frame{
+				Seq:        m.FrameSeq,
+				Layer:      int(m.Layer),
+				Bytes:      m.FrameBytes,
+				Keyframe:   m.Keyframe,
+				CapturedAt: m.CapturedAt,
+			},
+			seen: map[int]bool{},
+		}
+		jb.pending[m.FrameSeq] = pf
+	}
+	if pf.complete || pf.seen[m.Offset] {
+		return
+	}
+	pf.seen[m.Offset] = true
+	pf.got += p.Size
+	if pf.got < m.FrameBytes {
+		return
+	}
+	pf.complete = true
+	jb.releaseReady(now)
+	if jb.pending[pf.frame.Seq] != nil && pf.frame.Seq > jb.next {
+		// This frame is ready but an older gap blocks it: give the gap
+		// skipWait to fill, then abandon it.
+		seq := pf.frame.Seq
+		jb.eng.Schedule(skipWait, func() { jb.skipTo(seq) })
+	}
+}
+
+// releaseReady plays every consecutive complete frame starting at next.
+func (jb *JitterBuffer) releaseReady(now time.Duration) {
+	for {
+		pf := jb.pending[jb.next]
+		if pf == nil || !pf.complete {
+			return
+		}
+		jb.release(now, pf)
+	}
+}
+
+func (jb *JitterBuffer) release(now time.Duration, pf *pendingFrame) {
+	delay := now - pf.frame.CapturedAt
+	jb.stats.Released++
+	jb.stats.Delay.AddDuration(delay)
+	if delay > jb.spec.Deadline {
+		jb.stats.PastDeadline++
+	}
+	if jb.stats.Released > 1 {
+		if gap, allowed := now-jb.lastRelease, 3*jb.spec.FrameInterval()/2; gap > allowed {
+			jb.stats.FreezeTime += gap - allowed
+		}
+	}
+	jb.lastRelease = now
+	delete(jb.pending, pf.frame.Seq)
+	jb.next = pf.frame.Seq + 1
+	if jb.OnFrame != nil {
+		jb.OnFrame(pf.frame, delay)
+	}
+}
+
+// skipTo abandons the frames blocking seq (releasing any complete ones on
+// the way — order is still preserved) so playout can resume at seq.
+func (jb *JitterBuffer) skipTo(seq uint64) {
+	if jb.next > seq {
+		return // the gap filled in time
+	}
+	if pf := jb.pending[seq]; pf == nil || !pf.complete {
+		return // the trigger frame itself has been abandoned meanwhile
+	}
+	now := jb.eng.Now()
+	for jb.next < seq {
+		if pf := jb.pending[jb.next]; pf != nil && pf.complete {
+			jb.release(now, pf)
+			continue
+		}
+		delete(jb.pending, jb.next)
+		jb.stats.Skipped++
+		jb.next++
+	}
+	jb.releaseReady(now)
+}

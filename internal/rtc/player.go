@@ -1,0 +1,55 @@
+package rtc
+
+import "time"
+
+// StreamPlayer models a buffered streaming client (the videostream
+// example's viewer): bytes arrive on a throughput timeline, buffer until
+// the startup threshold, then drain at the video bitrate; shortfalls are
+// rebuffering. This is the buffered-video counterpart to the
+// jitter-buffer path — latency-tolerant, but throughput-sensitive.
+type StreamPlayer struct {
+	// BitrateMbps is the video encoding rate the player drains at.
+	BitrateMbps float64
+	// StartupSecs is how many seconds of video must buffer before
+	// playback starts.
+	StartupSecs float64
+	// MaxBufferSecs caps the client buffer (players do not prefetch the
+	// whole movie), limiting how long a capacity trough can be ridden
+	// out on prefetched data. Zero means unbounded.
+	MaxBufferSecs float64
+}
+
+// Play simulates the buffer over a fixed-window throughput timeline
+// (rates in Mbit/s per window, as harness.FlowResult.TimelineR provides)
+// and returns the startup delay and total rebuffering time.
+func (pl StreamPlayer) Play(window time.Duration, times []time.Duration, ratesMbps []float64) (startup, rebuffer time.Duration) {
+	segment := pl.BitrateMbps * pl.StartupSecs // Mbit needed to start
+	bufferMbit := 0.0
+	started := false
+	for i := range times {
+		bufferMbit += ratesMbps[i] * window.Seconds() // Mbit this window
+		if pl.MaxBufferSecs > 0 {
+			if max := pl.BitrateMbps * pl.MaxBufferSecs; bufferMbit > max {
+				bufferMbit = max
+			}
+		}
+		if !started {
+			if bufferMbit >= segment {
+				started = true
+				startup = times[i]
+			}
+			continue
+		}
+		need := pl.BitrateMbps * window.Seconds()
+		if bufferMbit >= need {
+			bufferMbit -= need
+		} else {
+			// Stall: consume what is there, count the shortfall as
+			// rebuffering time.
+			short := (need - bufferMbit) / pl.BitrateMbps
+			rebuffer += time.Duration(short * float64(time.Second))
+			bufferMbit = 0
+		}
+	}
+	return startup, rebuffer
+}

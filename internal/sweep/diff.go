@@ -65,6 +65,17 @@ func Diff(base, cur *Result) ([]Delta, error) {
 			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, m.higherBetter))
 			deltas = append(deltas, d)
 		}
+		// Frame-level QoE is tracked for media groups; a group changing
+		// sides (media <-> bulk) means the baseline is stale.
+		if (bs.Frame == nil) != (cs.Frame == nil) {
+			return nil, fmt.Errorf("group %s has frame metrics on only one side (regenerate the baseline)", k)
+		}
+		if bs.Frame != nil {
+			d := Delta{Group: k, Metric: "frame_p95_ms.p50",
+				Base: bs.Frame.P95Ms.P50, Cur: cs.Frame.P95Ms.P50}
+			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, false))
+			deltas = append(deltas, d)
+		}
 	}
 	for k := range bi {
 		if !seen[k] {

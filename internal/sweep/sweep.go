@@ -135,6 +135,16 @@ type Row struct {
 	Utilization float64 `json:"utilization"` // achieved / nominal peak capacity
 	LossPct     float64 `json:"loss_pct"`
 	CATriggered bool    `json:"ca_triggered,omitempty"`
+
+	// Frame-level QoE metrics, present for media jobs (the rtc and sfu
+	// families): released-frame count, p50/p95 capture-to-play delay,
+	// accumulated freeze time, and the share of frames that missed their
+	// deadline or never played.
+	Frames       int     `json:"frames,omitempty"`
+	FrameP50Ms   float64 `json:"frame_p50_ms,omitempty"`
+	FrameP95Ms   float64 `json:"frame_p95_ms,omitempty"`
+	FreezeMs     float64 `json:"freeze_ms,omitempty"`
+	LateFramePct float64 `json:"late_frame_pct,omitempty"`
 }
 
 // Metric is the distribution of one metric across a summary group's jobs.
@@ -164,6 +174,17 @@ type Summary struct {
 	Tput        Metric `json:"tput_mbps"`
 	DelayP95    Metric `json:"delay_p95_ms"`
 	Utilization Metric `json:"utilization"`
+
+	// Frame holds the frame-level distributions for media groups (nil
+	// for bulk groups).
+	Frame *FrameSummary `json:"frame,omitempty"`
+}
+
+// FrameSummary is the frame-level half of a media group's summary.
+type FrameSummary struct {
+	P95Ms    Metric `json:"p95_ms"`    // per-job p95 capture-to-play delay
+	FreezeMs Metric `json:"freeze_ms"` // per-job accumulated freeze time
+	LatePct  Metric `json:"late_pct"`  // per-job late/lost frame share
 }
 
 // Key identifies a summary group across result files.
@@ -237,6 +258,13 @@ func runJob(spec *Spec, j Job) Row {
 	if total := f.Received + f.Lost; total > 0 {
 		row.LossPct = stats.Round2(100 * float64(f.Lost) / float64(total))
 	}
+	if fr := f.Frames; fr != nil {
+		row.Frames = int(fr.Released)
+		row.FrameP50Ms = stats.Round2(fr.Delay.Percentile(50))
+		row.FrameP95Ms = stats.Round2(fr.Delay.Percentile(95))
+		row.FreezeMs = stats.Round2(float64(fr.FreezeTime.Microseconds()) / 1000)
+		row.LateFramePct = stats.Round2(fr.LatePct())
+	}
 	return row
 }
 
@@ -244,8 +272,10 @@ func runJob(spec *Spec, j Job) Row {
 // group's metric distributions, sorted by group key.
 func Summarize(rows []Row) []Summary {
 	type acc struct {
-		tput, p95, util stats.Series
-		jobs            int
+		tput, p95, util        stats.Series
+		frameP95, freeze, late stats.Series
+		jobs                   int
+		media                  bool
 	}
 	groups := map[string]*acc{}
 	meta := map[string]Summary{}
@@ -262,6 +292,20 @@ func Summarize(rows []Row) []Summary {
 		a.tput.Add(r.TputMbps)
 		a.p95.Add(r.DelayP95Ms)
 		a.util.Add(r.Utilization)
+		// A media row always has Frames > 0 or (having played nothing)
+		// LateFramePct = 100; bulk rows have both at zero. Delay and
+		// freeze distributions take only rows that released frames - a
+		// collapsed job's zeros are not good scores and must not drag
+		// the gate-tracked p95 down - while the late share counts every
+		// media job, so the collapse itself registers as 100% late.
+		if r.Frames > 0 || r.LateFramePct > 0 {
+			a.media = true
+			a.late.Add(r.LateFramePct)
+		}
+		if r.Frames > 0 {
+			a.frameP95.Add(r.FrameP95Ms)
+			a.freeze.Add(r.FreezeMs)
+		}
 	}
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
@@ -276,19 +320,28 @@ func Summarize(rows []Row) []Summary {
 		s.Tput = metricOf(&a.tput)
 		s.DelayP95 = metricOf(&a.p95)
 		s.Utilization = metricOf(&a.util)
+		if a.media {
+			s.Frame = &FrameSummary{
+				P95Ms:    metricOf(&a.frameP95),
+				FreezeMs: metricOf(&a.freeze),
+				LatePct:  metricOf(&a.late),
+			}
+		}
 		out = append(out, s)
 	}
 	return out
 }
 
 // Smoke returns the built-in CI smoke sweep: small enough for a PR gate,
-// wide enough to cross every axis (two algorithms, three families, four
-// seeds, both RATs, one noisy level).
+// wide enough to cross every axis (three algorithms including the GCC
+// real-time baseline, five families including the frame-level rtc call
+// and the 32-subscriber SFU fan-out, four seeds, both RATs, one noisy
+// level).
 func Smoke() *Spec {
 	return &Spec{
 		Name:        "smoke",
-		Experiments: []string{"steady", "competition", "multiflow"},
-		Schemes:     []string{"pbe", "bbr"},
+		Experiments: []string{"steady", "competition", "multiflow", "rtc", "sfu"},
+		Schemes:     []string{"pbe", "bbr", "gcc"},
 		Seeds:       []int64{1, 2, 3, 4},
 		RATs:        []string{harness.RATLTE, harness.RATNR},
 		NoiseLevels: []float64{0, 0.1},

@@ -226,3 +226,118 @@ func TestSmokeSpecSatisfiesGate(t *testing.T) {
 			len(schemes), len(exps), len(seeds))
 	}
 }
+
+func TestFrameMetricsSurfaceInMediaRows(t *testing.T) {
+	spec := &Spec{
+		Name:        "rtc-test",
+		Experiments: []string{"rtc"},
+		Schemes:     []string{"gcc"},
+		Seeds:       []int64{1},
+		DurationMs:  600,
+	}
+	res, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r.Frames == 0 {
+		t.Fatal("rtc row carries no frame count")
+	}
+	if r.FrameP95Ms <= 0 {
+		t.Fatalf("rtc row frame p95 = %v", r.FrameP95Ms)
+	}
+	if len(res.Summaries) != 1 || res.Summaries[0].Frame == nil {
+		t.Fatal("rtc summary carries no frame distributions")
+	}
+}
+
+func TestBulkRowsCarryNoFrameMetrics(t *testing.T) {
+	res, err := Run(&Spec{
+		Name: "bulk", Experiments: []string{"steady"}, Schemes: []string{"bbr"},
+		Seeds: []int64{1}, DurationMs: 400,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Frames != 0 || res.Summaries[0].Frame != nil {
+		t.Fatal("bulk job grew frame metrics")
+	}
+}
+
+func TestDiffTracksFrameDelay(t *testing.T) {
+	mk := func(p95 float64) *Result {
+		return &Result{Summaries: []Summary{{
+			Experiment: "rtc", RAT: "lte", Scheme: "gcc", Jobs: 1,
+			Tput: Metric{Mean: 5}, DelayP95: Metric{P50: 30}, Utilization: Metric{Mean: 0.1},
+			Frame: &FrameSummary{P95Ms: Metric{P50: p95}},
+		}}}
+	}
+	deltas, err := Diff(mk(100), mk(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := map[string]Delta{}
+	for _, d := range deltas {
+		byMetric[d.Metric] = d
+	}
+	d, ok := byMetric["frame_p95_ms.p50"]
+	if !ok {
+		t.Fatal("frame delay not tracked for a media group")
+	}
+	if d.RegressPct != 20 {
+		t.Fatalf("frame p95 regression = %v, want 20", d.RegressPct)
+	}
+}
+
+func TestDiffRejectsFramePresenceMismatch(t *testing.T) {
+	withFrame := &Result{Summaries: []Summary{{
+		Experiment: "rtc", RAT: "lte", Scheme: "gcc",
+		Frame: &FrameSummary{},
+	}}}
+	withoutFrame := &Result{Summaries: []Summary{{
+		Experiment: "rtc", RAT: "lte", Scheme: "gcc",
+	}}}
+	if _, err := Diff(withFrame, withoutFrame); err == nil {
+		t.Fatal("frame metrics vanishing from a group not rejected")
+	}
+	if _, err := Diff(withoutFrame, withFrame); err == nil {
+		t.Fatal("frame metrics appearing in a group not rejected")
+	}
+}
+
+// TestSFUSweepDeterminism runs the heaviest new family through the
+// worker-pool determinism contract: a 32-subscriber fan-out must still
+// serialize byte-identically for any worker count.
+func TestSFUSweepDeterminism(t *testing.T) {
+	spec := &Spec{
+		Name:        "sfu-test",
+		Experiments: []string{"sfu"},
+		Schemes:     []string{"gcc"},
+		Seeds:       []int64{1, 2},
+		RATs:        []string{"lte", "nr"},
+		DurationMs:  500,
+	}
+	serial, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteResult(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResult(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("sfu sweep bytes differ between workers=1 and workers=8")
+	}
+	for _, r := range serial.Rows {
+		if r.Frames == 0 {
+			t.Fatalf("sfu job %+v released no frames", r)
+		}
+	}
+}

@@ -139,3 +139,30 @@ func TestRelayRateChange(t *testing.T) {
 		t.Fatal("rate change not applied")
 	}
 }
+
+func TestREMBWireRoundTrip(t *testing.T) {
+	f := func(nanos int64, rate uint32) bool {
+		buf := make([]byte, REMBLen)
+		r := REMB{SentNanos: nanos, RateWord: rate}
+		n, err := MarshalREMB(buf, r)
+		if err != nil || n != REMBLen {
+			return false
+		}
+		got, err := UnmarshalREMB(buf)
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalREMB(make([]byte, 3)); err != ErrShortPacket {
+		t.Fatalf("short remb err = %v", err)
+	}
+	bad := make([]byte, REMBLen)
+	bad[0] = 0x7F
+	if _, err := UnmarshalREMB(bad); err != ErrBadType {
+		t.Fatalf("bad remb type err = %v", err)
+	}
+	if _, err := MarshalREMB(make([]byte, 4), REMB{}); err != ErrShortPacket {
+		t.Fatal("marshal remb into short buffer must fail")
+	}
+}

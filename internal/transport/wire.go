@@ -16,6 +16,7 @@ import (
 const (
 	TypeData = 0x01
 	TypeAck  = 0x02
+	TypeREMB = 0x03
 )
 
 // DataHeaderLen is the wire size of a data packet header.
@@ -123,3 +124,43 @@ func UnmarshalAck(buf []byte) (Ack, error) {
 // NanosToDuration converts wire nanoseconds to a Duration since process
 // start.
 func NanosToDuration(n int64) time.Duration { return time.Duration(n) }
+
+// REMBLen is the wire size of a receiver-estimated-max-bitrate message.
+const REMBLen = 1 + 8 + 4 // type, sentNanos, rateWord
+
+// REMB defines the standalone receiver-estimated-max-bitrate message of
+// the wire format, mirroring RTCP's REMB: a delay-based estimate that
+// can travel to the sender even when no data flows the other way to
+// piggyback an Ack on. The rate is carried in the same 32-bit capacity
+// word as Ack.RateWord. The simulator's GCC path carries the estimate in
+// the Ack feedback field; the real-socket runner (udp.go) does not send
+// standalone REMB messages yet - this type fixes the format it will use.
+type REMB struct {
+	SentNanos int64  // receiver clock when the estimate was computed
+	RateWord  uint32 // encoded estimate (see core.EncodeRate)
+}
+
+// MarshalREMB encodes a REMB message into buf, returning REMBLen.
+func MarshalREMB(buf []byte, r REMB) (int, error) {
+	if len(buf) < REMBLen {
+		return 0, ErrShortPacket
+	}
+	buf[0] = TypeREMB
+	binary.BigEndian.PutUint64(buf[1:], uint64(r.SentNanos))
+	binary.BigEndian.PutUint32(buf[9:], r.RateWord)
+	return REMBLen, nil
+}
+
+// UnmarshalREMB parses a REMB message.
+func UnmarshalREMB(buf []byte) (REMB, error) {
+	if len(buf) < REMBLen {
+		return REMB{}, ErrShortPacket
+	}
+	if buf[0] != TypeREMB {
+		return REMB{}, ErrBadType
+	}
+	return REMB{
+		SentNanos: int64(binary.BigEndian.Uint64(buf[1:])),
+		RateWord:  binary.BigEndian.Uint32(buf[9:]),
+	}, nil
+}
