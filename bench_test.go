@@ -105,6 +105,52 @@ func BenchmarkRTCCallGCC(b *testing.B)   { benchFamily(b, "rtc", "gcc") }
 func BenchmarkSFUFanoutPBE(b *testing.B) { benchFamily(b, "sfu", "pbe") }
 func BenchmarkSFUFanoutGCC(b *testing.B) { benchFamily(b, "sfu", "gcc") }
 
+// Metro benches: the acceptance scale of the sharded engine - 128 cells
+// (64 LTE + 64 NR), 2048 UEs, mixed bulk/rtc/sfu flows with background
+// churn, one simulated second. The only difference between the variants
+// is the parallel shard width, so their ratio is the intra-scenario
+// speedup (expect >=2x at 4 shards on a 4-core runner; on a single core
+// they should be within a few percent of each other, the window-barrier
+// overhead). Byte-identity across widths is enforced by the harness
+// property test and CI's metro determinism gate; here the reported
+// measured-Mbit/s metric makes a divergence visible at a glance.
+
+func benchMetro(b *testing.B, shards int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sc, err := harness.BuildScenario("metro", "pbe", harness.Params{
+			Seed: 1, Duration: time.Second, Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := harness.Run(sc)
+		f := res.Flows[0]
+		if f.Received == 0 {
+			b.Fatal("measured flow received nothing")
+		}
+		b.ReportMetric(f.AvgTputMbps, "measured-Mbit/s")
+	}
+}
+
+func BenchmarkMetro1Shard(b *testing.B)  { benchMetro(b, 1) }
+func BenchmarkMetro2Shards(b *testing.B) { benchMetro(b, 2) }
+func BenchmarkMetro4Shards(b *testing.B) { benchMetro(b, 4) }
+
+// BenchmarkMetroSmokeSlice is the CI-sized metro (8 cells, 128 UEs), the
+// unit the metro determinism gate and BENCH_metro_baseline.json track.
+func BenchmarkMetroSmokeSlice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := harness.BuildScenario("metro", "pbe", harness.Params{
+			Seed: 1, Cells: 8, Duration: 500 * time.Millisecond, Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if harness.Run(sc).Flows[0].Received == 0 {
+			b.Fatal("measured flow received nothing")
+		}
+	}
+}
+
 // Ablation benches: the design-choice studies DESIGN.md calls out.
 
 func BenchmarkAblationSuite(b *testing.B) { benchExperiment(b, "ablation") }

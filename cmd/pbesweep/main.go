@@ -6,11 +6,15 @@
 //
 //	pbesweep -spec sweep.json -workers 8 -out results.json
 //	pbesweep -smoke -out BENCH_PR.json          # built-in CI smoke matrix
+//	pbesweep -metro-smoke -shards 4 -out m.json # city-scale sharded slice
 //	pbesweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json
 //	pbesweep -list                              # families, schemes, axes
 //
-// Results are bit-identical for any -workers value: every job runs on its
-// own seeded engine and rows land at their matrix index.
+// Results are bit-identical for any -workers value (every job runs on its
+// own seeded engine and rows land at their matrix index) and for any
+// -shards value (inside a sharded job, the shard topology and mailbox
+// merge order are fixed; -shards only sets how many shards advance
+// concurrently).
 package main
 
 import (
@@ -29,7 +33,9 @@ import (
 func main() {
 	specPath := flag.String("spec", "", "sweep spec JSON file")
 	smoke := flag.Bool("smoke", false, "run the built-in CI smoke matrix")
+	metroSmoke := flag.Bool("metro-smoke", false, "run the built-in city-scale metro smoke slice")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "parallel shard width inside sharded jobs (0 = serial); never changes results")
 	out := flag.String("out", "-", "result file ('-' = stdout)")
 	diff := flag.Bool("diff", false, "diff two result files: pbesweep -diff [-max-regress N] base.json cur.json")
 	maxRegress := flag.Float64("max-regress", 10, "with -diff: fail when any tracked metric regresses more than this percentage")
@@ -42,7 +48,7 @@ func main() {
 	case *diff:
 		runDiff(flag.Args(), *maxRegress)
 	default:
-		runSweep(*specPath, *smoke, *workers, *out)
+		runSweep(*specPath, *smoke, *metroSmoke, *workers, *shards, *out)
 	}
 }
 
@@ -53,15 +59,24 @@ func listAxes() {
 	}
 	fmt.Printf("schemes: %v\n", harness.Schemes)
 	fmt.Println("other axes: seeds, rats, cell_counts, noise_levels, busy, duration_ms")
+	fmt.Println("flags, not axes: -workers (job pool), -shards (intra-job width); neither changes results")
 }
 
-func runSweep(specPath string, smoke bool, workers int, out string) {
+func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out string) {
 	var spec *sweep.Spec
+	exclusive := 0
+	for _, on := range []bool{smoke, metroSmoke, specPath != ""} {
+		if on {
+			exclusive++
+		}
+	}
 	switch {
-	case smoke && specPath != "":
-		fatal(fmt.Errorf("-smoke and -spec are mutually exclusive"))
+	case exclusive > 1:
+		fatal(fmt.Errorf("-smoke, -metro-smoke and -spec are mutually exclusive"))
 	case smoke:
 		spec = sweep.Smoke()
+	case metroSmoke:
+		spec = sweep.MetroSmoke()
 	case specPath != "":
 		data, err := os.ReadFile(specPath)
 		if err != nil {
@@ -76,8 +91,9 @@ func runSweep(specPath string, smoke bool, workers int, out string) {
 			fatal(fmt.Errorf("%s: %w", specPath, err))
 		}
 	default:
-		fatal(fmt.Errorf("need -spec, -smoke, -diff or -list (see -h)"))
+		fatal(fmt.Errorf("need -spec, -smoke, -metro-smoke, -diff or -list (see -h)"))
 	}
+	spec.Shards = shards
 
 	start := time.Now()
 	res, err := sweep.Run(spec, workers)

@@ -61,8 +61,13 @@ type CellInfo struct {
 }
 
 // Monitor tracks per-cell control information over a sliding window and
-// produces PBE-CC's capacity estimates. It is not safe for concurrent use;
-// in the simulator everything runs on the event loop.
+// produces PBE-CC's capacity estimates. It is not safe for concurrent
+// use: in an unsharded scenario everything runs on one event loop, and
+// in a sharded one the harness pins the monitor - like the device and
+// flows it serves - to the shard of its cells, so every cell feed,
+// attach/detach and client read stays on that shard's loop. A monitor
+// must never be attached to cells on different shards (the lte/nr
+// layers enforce the matching invariant for devices).
 type Monitor struct {
 	RNTI   uint16
 	Window int

@@ -576,14 +576,14 @@ func orderStatsAt(id, title string, locs []Location, quick bool) []Table {
 			r := Run(LocationScenario(loc, s, dur))
 			f := r.Flows[0]
 			t.Rows = append(t.Rows, []string{s,
-				pct5(f.Tput), pct5(&f.Delay.Series)})
+				pct5(f.Tput), pct5(f.Delay)})
 		}
 		out = append(out, t)
 	}
 	return out
 }
 
-func pct5(s *stats.Series) string {
+func pct5(s stats.Dist) string {
 	return fmt.Sprintf("%.1f/%.1f/%.1f/%.1f/%.1f",
 		s.Percentile(10), s.Percentile(25), s.Percentile(50),
 		s.Percentile(75), s.Percentile(90))

@@ -103,9 +103,15 @@ type FlowSpec struct {
 	// Media, when non-nil, replaces the full-buffer sender with the
 	// frame-level RTC pipeline (encoder -> packetizer/pacer -> jitter
 	// buffer); Scheme still chooses the congestion controller. Ignored
-	// for "fixed" flows and in SFU scenarios (where every non-fixed flow
-	// is a subscriber leg of the scenario's SFU).
+	// for "fixed" flows and SFU legs.
 	Media *rtc.MediaSpec
+
+	// SFULeg makes this flow one subscriber leg of the scenario's SFU
+	// fan-out: the relay forwards the selected simulcast layer to the
+	// UE, paced by the leg's own congestion controller. In sharded runs
+	// the leg's two wired hops are cross-shard links between the wired
+	// core and the UE's cell shard. Requires Scenario.SFU.
+	SFULeg bool
 }
 
 // Scenario is a complete experiment.
@@ -141,11 +147,29 @@ type Scenario struct {
 	// for stress-testing measurement-based congestion control.
 	CapacityNoise float64
 
-	// SFU, when non-nil, turns the scenario into an SFU fan-out: one
-	// simulcast ingest stream enters a frame-level relay over a wired
-	// path, and every non-fixed flow becomes a subscriber leg from the
-	// relay through the cellular network to its UE.
+	// SFU, when non-nil, stands up an SFU fan-out: one simulcast ingest
+	// stream enters a frame-level relay over a wired path, and every
+	// flow marked SFULeg becomes a subscriber leg from the relay through
+	// the cellular network to its UE.
 	SFU *SFUSpec
+
+	// Sharded partitions the scenario across shard-local event engines:
+	// one shard per group of cells entangled by multi-carrier devices,
+	// plus a wired-core shard for the SFU relay. The shard topology is a
+	// pure function of the scenario, so results are byte-identical for
+	// any Shards value; unsharded scenarios run on the degenerate
+	// one-shard cluster, bit-compatible with the pre-sharding engine.
+	Sharded bool
+
+	// Shards bounds how many shards advance concurrently inside each
+	// synchronization window (0 or 1 = serial). Wall-clock only - never
+	// results.
+	Shards int
+
+	// StreamStats records per-flow delay percentiles through
+	// constant-size P² digests instead of exact per-packet sample
+	// series, keeping memory O(flows) at metro scale.
+	StreamStats bool
 }
 
 // SFUSpec configures the fan-out relay and its ingest leg.
@@ -200,8 +224,12 @@ type FlowResult struct {
 	ID     int
 	Scheme string
 
-	Tput  *stats.Series         // Mbit/s per 100 ms window
-	Delay *stats.DurationSeries // one-way delay per packet, ms
+	Tput *stats.Series // Mbit/s per 100 ms window
+
+	// Delay holds one-way delay per packet in ms: an exact
+	// DurationSeries normally, a streaming P² digest when the scenario
+	// sets StreamStats.
+	Delay stats.DelayDist
 
 	AvgTputMbps float64
 	Received    uint64
@@ -246,7 +274,7 @@ type Result struct {
 
 // Run executes the scenario and collects per-flow statistics.
 func Run(sc *Scenario) *Result {
-	eng := sim.New(sc.Seed)
+	pl := newPlacement(sc)
 	res := &Result{Scenario: sc, PRBSamples: map[int][]float64{}}
 
 	cells := map[int]*lte.Cell{}
@@ -255,12 +283,12 @@ func Run(sc *Scenario) *Result {
 		if table == 0 {
 			table = phy.Table64QAM
 		}
-		cells[cs.ID] = lte.NewCell(eng, cs.ID, cs.NPRB, table, cs.Control)
+		cells[cs.ID] = lte.NewCell(pl.cell(cs.ID).Engine, cs.ID, cs.NPRB, table, cs.Control)
 	}
 
 	nrCells := map[int]*nr.Cell{}
 	for _, ns := range sc.NRCells {
-		nrCells[ns.ID] = nr.NewCell(eng, nr.Config{
+		nrCells[ns.ID] = nr.NewCell(pl.cell(ns.ID).Engine, nr.Config{
 			ID: ns.ID, Mu: ns.Mu, NPRB: ns.NPRB, BandwidthMHz: ns.BandwidthMHz,
 			Table: ns.Table, Control: ns.Control,
 		})
@@ -271,10 +299,12 @@ func Run(sc *Scenario) *Result {
 	devices := map[int]device{}           // every device, by UE ID
 	channels := map[[2]int]*phy.Channel{} // (ueID, cellID) -> channel
 	for _, us := range sc.UEs {
+		us := us
+		ueEng := pl.ueShard(&us).Engine
 		mkChannel := func(rssi float64, traj phy.Trajectory, table phy.CQITable) *phy.Channel {
 			var fading *phy.Fading
 			if us.FadingSigma > 0 {
-				fading = phy.NewFading(us.FadingSigma, 50*time.Millisecond, eng.Rand())
+				fading = phy.NewFading(us.FadingSigma, 50*time.Millisecond, ueEng.Rand())
 			}
 			if traj != nil {
 				return phy.NewMobileChannel(traj, table, fading)
@@ -283,7 +313,7 @@ func Run(sc *Scenario) *Result {
 		}
 		var anchor *lte.UE
 		if len(us.CellIDs) > 0 {
-			anchor = lte.NewUE(eng, us.ID, us.RNTI)
+			anchor = lte.NewUE(ueEng, us.ID, us.RNTI)
 			for _, cid := range us.CellIDs {
 				cell := cells[cid]
 				ch := mkChannel(us.RSSI, us.Trajectory, cell.Table)
@@ -305,7 +335,7 @@ func Run(sc *Scenario) *Result {
 			cell := nrCells[us.NRCellIDs[0]]
 			ch := mkChannel(nrRSSI, us.NRTrajectory, cell.Table)
 			channels[[2]int{us.ID, us.NRCellIDs[0]}] = ch
-			endc := nr.NewENDC(eng, us.ID, us.RNTI, anchor, cell, ch)
+			endc := nr.NewENDC(ueEng, us.ID, us.RNTI, anchor, cell, ch)
 			endc.Start()
 			endcs[us.ID] = endc
 			devices[us.ID] = endc
@@ -315,7 +345,7 @@ func Run(sc *Scenario) *Result {
 			devices[us.ID] = anchor
 		case len(us.NRCellIDs) > 0:
 			// Standalone 5G device.
-			ue := nr.NewUE(eng, us.ID, us.RNTI)
+			ue := nr.NewUE(ueEng, us.ID, us.RNTI)
 			for _, cid := range us.NRCellIDs {
 				cell := nrCells[cid]
 				ch := mkChannel(nrRSSI, us.NRTrajectory, cell.Table)
@@ -328,6 +358,20 @@ func Run(sc *Scenario) *Result {
 		}
 	}
 
+	// UE specs by ID, looked up once per flow below (a linear scan per
+	// flow would be O(flows x UEs) at metro scale).
+	specs := make(map[int]*UESpec, len(sc.UEs))
+	for i := range sc.UEs {
+		specs[sc.UEs[i].ID] = &sc.UEs[i]
+	}
+	spec := func(ueID int) *UESpec {
+		us, ok := specs[ueID]
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown UE %d", ueID))
+		}
+		return us
+	}
+
 	// PBE monitors: one per UE hosting at least one PBE flow, fed by every
 	// configured cell but tracking only the active set.
 	monitors := map[int]*core.Monitor{}
@@ -336,14 +380,16 @@ func Run(sc *Scenario) *Result {
 		if fs.Scheme != "pbe" {
 			continue
 		}
-		us := ueSpec(sc, fs.UE)
+		us := spec(fs.UE)
 		if _, ok := monitors[fs.UE]; ok {
 			continue
 		}
 		mon := core.NewMonitor(us.RNTI)
 		mon.UseFilter = !sc.DisableUserFilter
 		if sigma := sc.CapacityNoise; sigma > 0 {
-			rng := eng.Rand()
+			// The monitor runs on the UE's shard; its noise stream draws
+			// from that shard's engine.
+			rng := pl.ueShard(us).Rand()
 			mon.Noise = func(v float64) float64 {
 				return v * (1 + sigma*rng.NormFloat64())
 			}
@@ -432,7 +478,7 @@ func Run(sc *Scenario) *Result {
 	end := sc.Duration
 	var sfu *rtc.SFU
 	if sc.SFU != nil {
-		sfu = buildSFUIngest(eng, sc)
+		sfu = buildSFUIngest(pl.core.Engine, sc)
 	}
 	for i := range sc.Flows {
 		fs := &sc.Flows[i]
@@ -440,14 +486,23 @@ func Run(sc *Scenario) *Result {
 		if stop == 0 {
 			stop = end
 		}
+		var delay stats.DelayDist = &stats.DurationSeries{}
+		if sc.StreamStats {
+			delay = stats.NewDurationP2()
+		}
 		fr := &FlowResult{ID: fs.ID, Scheme: fs.Scheme,
-			Tput: &stats.Series{}, Delay: &stats.DurationSeries{}}
+			Tput: &stats.Series{}, Delay: delay}
 		res.Flows = append(res.Flows, fr)
+		if fs.SFULeg && sc.SFU == nil {
+			panic(fmt.Sprintf("harness: flow %d is marked SFULeg but the scenario has no SFU", fs.ID))
+		}
 		dev := devices[fs.UE]
+		ueSh := pl.ueShard(spec(fs.UE))
+		ueEng := ueSh.Engine
 
 		if fs.Scheme == "fixed" {
-			ct := netsim.NewCrossTraffic(eng, dev, fs.FixedRate, fs.ID)
-			scheduleOnOff(eng, ct, fs, stop)
+			ct := netsim.NewCrossTraffic(ueEng, dev, fs.FixedRate, fs.ID)
+			scheduleOnOff(ueEng, ct, fs, stop)
 			continue
 		}
 
@@ -470,35 +525,38 @@ func Run(sc *Scenario) *Result {
 		}
 
 		switch {
-		case sfu != nil:
-			attachSubscriber(eng, sfu, fs, fr, dev, ctrl, fb, onData, end)
+		case sfu != nil && fs.SFULeg:
+			attachSubscriber(ueSh, pl.core, sfu, fs, fr, dev, ctrl, fb, onData, end)
 		case fs.Media != nil:
-			attachMediaFlow(eng, fs, fr, dev, ctrl, fb, onData, end)
+			attachMediaFlow(ueEng, fs, fr, dev, ctrl, fb, onData, end)
 		default:
 			var snd *cc.Sender
-			ackLink := netsim.NewLink(eng, 0, fs.RTTBase/2, 0,
+			ackLink := netsim.NewLink(ueEng, 0, fs.RTTBase/2, 0,
 				netsim.HandlerFunc(func(now time.Duration, p *netsim.Packet) {
 					snd.HandlePacket(now, p)
 				}))
-			rcv := cc.NewReceiver(eng, fs.ID, ackLink)
+			rcv := cc.NewReceiver(ueEng, fs.ID, ackLink)
 			rcv.Feedback = fb
 			rcv.OnData = onData
 			dev.RegisterFlow(fs.ID, rcv)
 
 			// Data path: sender -> (internet bottleneck) -> tower -> UE.
+			// The content server is pinned to its UE's cell shard, so the
+			// whole loop is shard-local.
 			var dataPath netsim.Handler = dev
-			dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
-			snd = cc.NewSender(eng, fs.ID, dataPath, ctrl)
+			dataPath = netsim.NewLink(ueEng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
+			snd = cc.NewSender(ueEng, fs.ID, dataPath, ctrl)
 			fr.snd = snd
-			eng.At(start, snd.Start)
+			ueEng.At(start, snd.Start)
 			if stop < end {
-				eng.At(stop, snd.Stop)
+				ueEng.At(stop, snd.Stop)
 			}
 		}
 	}
 
-	// PRB sampling for the fairness figures.
+	// PRB sampling for the fairness figures, on the primary cell's shard.
 	if sc.PRBSampleEvery > 0 && len(sc.Cells) > 0 {
+		eng := pl.cell(sc.Cells[0].ID).Engine
 		primary := cells[sc.Cells[0].ID]
 		acc := map[uint16]int{}
 		subframes := 0
@@ -528,7 +586,7 @@ func Run(sc *Scenario) *Result {
 		})
 	}
 
-	eng.RunUntil(sc.Duration)
+	pl.cluster.RunUntil(sc.Duration)
 
 	for _, fr := range res.Flows {
 		if fr.windows != nil {
@@ -700,13 +758,4 @@ func newController(name string) cc.Controller {
 		return vivace.New()
 	}
 	panic(fmt.Sprintf("harness: unknown scheme %q", name))
-}
-
-func ueSpec(sc *Scenario, id int) *UESpec {
-	for i := range sc.UEs {
-		if sc.UEs[i].ID == id {
-			return &sc.UEs[i]
-		}
-	}
-	panic(fmt.Sprintf("harness: unknown UE %d", id))
 }

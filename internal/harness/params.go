@@ -25,6 +25,11 @@ type Params struct {
 	// multiplicative Gaussian noise on the PBE monitor's capacity
 	// feedback.
 	CapacityNoise float64
+
+	// Shards bounds how many shards of a sharded scenario advance
+	// concurrently (0 = family default, which is serial). Results are
+	// byte-identical for any value; only wall-clock time changes.
+	Shards int
 }
 
 // RATLTE and RATNR name the radio-access-technology axis values.
@@ -61,6 +66,30 @@ func (p Params) cellCount(def int) int {
 	return def
 }
 
+// Validate rejects parameter values that a family builder would
+// otherwise silently default or misinterpret. BuildScenario calls it
+// before any family runs.
+func (p Params) Validate() error {
+	if p.Cells < 0 {
+		return fmt.Errorf("negative cell count %d", p.Cells)
+	}
+	if p.CapacityNoise < 0 {
+		return fmt.Errorf("negative capacity noise %v", p.CapacityNoise)
+	}
+	if p.Duration < 0 {
+		return fmt.Errorf("negative duration %v", p.Duration)
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("negative shard count %d", p.Shards)
+	}
+	switch p.RAT {
+	case "", RATLTE, RATNR:
+	default:
+		return fmt.Errorf("unknown RAT %q (valid: %q, %q)", p.RAT, RATLTE, RATNR)
+	}
+	return nil
+}
+
 // apply overlays the cross-family knobs once a builder has produced its
 // scenario.
 func (p Params) apply(sc *Scenario) *Scenario {
@@ -69,6 +98,9 @@ func (p Params) apply(sc *Scenario) *Scenario {
 	}
 	if p.CapacityNoise > 0 {
 		sc.CapacityNoise = p.CapacityNoise
+	}
+	if p.Shards > 0 {
+		sc.Shards = p.Shards
 	}
 	return sc
 }
@@ -94,24 +126,33 @@ type Family struct {
 	// sweep listing cell counts over a family that ignores them would
 	// run mislabeled duplicate jobs, so BuildScenario rejects that.
 	CellsAxis bool
-	Build     func(scheme string, p Params) *Scenario
+	// MinCells is the smallest explicit Params.Cells the family can
+	// honor (0 = any positive value). A request below it is rejected
+	// rather than silently rounded up, so a result row's cell count
+	// always matches what actually ran.
+	MinCells int
+	Build    func(scheme string, p Params) *Scenario
 }
 
 // Families returns the sweepable scenario families.
 func Families() []Family {
 	return []Family{
-		{"steady", "single flow in steady state at one location", []string{RATLTE, RATNR}, true, SteadyScenario},
-		{"mobility", "mobility trajectory (LTE) / mmWave blockage (NR)", []string{RATLTE, RATNR}, false, MobilityScenario},
-		{"competition", "on-off competitor sharing the cell", []string{RATLTE, RATNR}, false, CompetitionScenario},
-		{"multiflow", "two concurrent flows from one device", []string{RATLTE, RATNR}, false, MultiflowScenario},
-		{"rtc", "interactive frame-level video call (GoP source + jitter buffer)", []string{RATLTE, RATNR}, true, RTCScenario},
-		{"sfu", "SFU fan-out: one ingest to 32 subscribers across LTE and NR cells", []string{RATLTE, RATNR}, true, SFUScenario},
+		{"steady", "single flow in steady state at one location", []string{RATLTE, RATNR}, true, 0, SteadyScenario},
+		{"mobility", "mobility trajectory (LTE) / mmWave blockage (NR)", []string{RATLTE, RATNR}, false, 0, MobilityScenario},
+		{"competition", "on-off competitor sharing the cell", []string{RATLTE, RATNR}, false, 0, CompetitionScenario},
+		{"multiflow", "two concurrent flows from one device", []string{RATLTE, RATNR}, false, 0, MultiflowScenario},
+		{"rtc", "interactive frame-level video call (GoP source + jitter buffer)", []string{RATLTE, RATNR}, true, 0, RTCScenario},
+		{"sfu", "SFU fan-out: one ingest to 32 subscribers across LTE and NR cells", []string{RATLTE, RATNR}, true, 0, SFUScenario},
+		{"metro", "city-scale sharded mix: 64-256 cells, 16 UEs/cell, bulk+rtc+sfu flows with churn", []string{RATLTE, RATNR}, true, 2, MetroScenario},
 	}
 }
 
 // BuildScenario builds one family's scenario for a scheme, validating the
 // family ID, scheme name, and RAT support first.
 func BuildScenario(family, scheme string, p Params) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid params: %w", err)
+	}
 	known := false
 	for _, s := range Schemes {
 		if s == scheme {
@@ -138,6 +179,9 @@ func BuildScenario(family, scheme string, p Params) (*Scenario, error) {
 		}
 		if p.Cells > 0 && !f.CellsAxis {
 			return nil, fmt.Errorf("family %q does not support the cell-count axis", family)
+		}
+		if p.Cells > 0 && p.Cells < f.MinCells {
+			return nil, fmt.Errorf("family %q needs at least %d cells (got %d)", family, f.MinCells, p.Cells)
 		}
 		return f.Build(scheme, p), nil
 	}

@@ -144,3 +144,32 @@ func TestNominalCapacityMbps(t *testing.T) {
 		t.Fatalf("NR µ=1 100 MHz nominal capacity = %.1f Mbit/s, want near 1 Gbit/s", got)
 	}
 }
+
+// TestParamsValidate: invalid axis values must be rejected with a clear
+// error instead of silently collapsing to a family default.
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Cells: -1},
+		{CapacityNoise: -0.1},
+		{RAT: "wimax"},
+		{Shards: -2},
+		{Duration: -time.Second},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+		if _, err := BuildScenario("steady", "pbe", p); err == nil {
+			t.Errorf("BuildScenario accepted %+v", p)
+		}
+	}
+	good := []Params{
+		{},
+		{RAT: RATNR, Cells: 2, Shards: 4, CapacityNoise: 0.1},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", p, err)
+		}
+	}
+}

@@ -107,30 +107,32 @@ func buildSFUIngest(eng *sim.Engine, sc *Scenario) *rtc.SFU {
 // attachSubscriber wires one SFU fan-out leg: the relay forwards the
 // subscriber's selected simulcast layer through the cellular network to
 // the UE's jitter buffer; the leg's own congestion controller paces the
-// forwarding and drives layer selection.
-func attachSubscriber(eng *sim.Engine, sfu *rtc.SFU, fs *FlowSpec, fr *FlowResult, dev device,
+// forwarding and drives layer selection. The forwarding pacer lives on
+// the wired-core shard with the relay; the receiver lives on the UE's
+// cell shard; the two wired hops between them are the scenario's
+// cross-shard boundaries (plain links when both sides share a shard).
+func attachSubscriber(ue, core *sim.Shard, sfu *rtc.SFU, fs *FlowSpec, fr *FlowResult, dev device,
 	ctrl cc.Controller, fb cc.FeedbackSource,
 	onData func(time.Duration, *netsim.Packet, time.Duration), end time.Duration) {
 	var sub *rtc.Subscriber
-	ackLink := netsim.NewLink(eng, 0, fs.RTTBase/2, 0,
+	ackLink := netsim.NewCrossLink(ue, core, 0, fs.RTTBase/2, 0,
 		netsim.HandlerFunc(func(now time.Duration, p *netsim.Packet) {
 			sub.Send.HandlePacket(now, p)
 		}))
-	srcv := rtc.NewReceiver(eng, fs.ID, ackLink, sfu.LegSpec())
+	srcv := rtc.NewReceiver(ue.Engine, fs.ID, ackLink, sfu.LegSpec())
 	srcv.Transport().Feedback = fb
 	srcv.OnData = onData
 	dev.RegisterFlow(fs.ID, srcv)
 
-	var dataPath netsim.Handler = dev
-	dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
+	dataPath := netsim.NewCrossLink(core, ue, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dev)
 	sub = sfu.AddSubscriber(fs.ID, dataPath, ctrl)
 
 	fr.Frames = srcv.Stats()
 	fr.msnd = sub.Send
 	fr.snd = sub.Send.Transport()
-	eng.At(fr.start, sub.Send.Start)
+	core.Engine.At(fr.start, sub.Send.Start)
 	if fr.stop < end {
-		eng.At(fr.stop, sub.Send.Stop)
+		core.Engine.At(fr.stop, sub.Send.Stop)
 	}
 }
 
@@ -189,6 +191,7 @@ func SFUScenario(scheme string, p Params) *Scenario {
 		sc.Flows = append(sc.Flows, FlowSpec{
 			ID: i + 1, UE: i + 1, Scheme: legScheme, Start: 0,
 			RTTBase: time.Duration(30+10*(i%4)) * time.Millisecond,
+			SFULeg:  true,
 		})
 	}
 	return p.apply(sc)

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+
+	"pbecc/internal/sim"
+)
+
+// placement pins every scenario entity to a shard of one sim.Cluster.
+//
+// The shard topology is a pure function of the scenario: cells that any
+// single device spans (LTE carrier aggregation, EN-DC dual connectivity)
+// are entangled into one shard by union-find, every UE, monitor, sender
+// and receiver is pinned to the shard of its (first) cell, and the wired
+// core - the SFU relay and its ingest - gets a shard of its own. Because
+// the topology never depends on the worker count, a sharded scenario's
+// output is byte-identical for any Scenario.Shards value; the knob only
+// sets how many shards advance concurrently inside each window.
+//
+// An unsharded scenario is the degenerate one-shard cluster, which the
+// sim layer guarantees is bit-compatible with the bare engine the
+// harness used before sharding existed.
+type placement struct {
+	cluster *sim.Cluster
+	byCell  map[int]*sim.Shard
+	core    *sim.Shard
+}
+
+func newPlacement(sc *Scenario) *placement {
+	cl := sim.NewCluster(sc.Seed)
+	workers := sc.Shards
+	if workers < 1 {
+		workers = 1
+	}
+	cl.SetWorkers(workers)
+	pl := &placement{cluster: cl, byCell: map[int]*sim.Shard{}}
+
+	if !sc.Sharded {
+		s := cl.AddShard()
+		for _, cs := range sc.Cells {
+			pl.byCell[cs.ID] = s
+		}
+		for _, ns := range sc.NRCells {
+			pl.byCell[ns.ID] = s
+		}
+		pl.core = s
+		return pl
+	}
+
+	// Union-find over cell IDs: each device merges every carrier it
+	// touches, so no device ever spans a shard boundary.
+	parent := map[int]int{}
+	for _, cs := range sc.Cells {
+		parent[cs.ID] = cs.ID
+	}
+	for _, ns := range sc.NRCells {
+		parent[ns.ID] = ns.ID
+	}
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			panic(fmt.Sprintf("harness: UE references unknown cell %d", x))
+		}
+		if p != x {
+			p = find(p)
+			parent[x] = p
+		}
+		return p
+	}
+	for _, us := range sc.UEs {
+		ids := make([]int, 0, len(us.CellIDs)+len(us.NRCellIDs))
+		ids = append(ids, us.CellIDs...)
+		ids = append(ids, us.NRCellIDs...)
+		for i := 1; i < len(ids); i++ {
+			ra, rb := find(ids[0]), find(ids[i])
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+
+	// One shard per connected group, assigned in cell declaration order
+	// so the topology (and with it every shard engine seed) is
+	// deterministic.
+	roots := map[int]*sim.Shard{}
+	assign := func(id int) {
+		r := find(id)
+		if roots[r] == nil {
+			roots[r] = cl.AddShard()
+		}
+		pl.byCell[id] = roots[r]
+	}
+	for _, cs := range sc.Cells {
+		assign(cs.ID)
+	}
+	for _, ns := range sc.NRCells {
+		assign(ns.ID)
+	}
+
+	if sc.SFU != nil {
+		// The relay fans out to subscribers on many cell shards; giving
+		// it a dedicated wired-core shard keeps every leg a true
+		// cross-shard boundary instead of serializing on one cell.
+		pl.core = cl.AddShard()
+	} else {
+		pl.core = cl.Shards()[0]
+	}
+	return pl
+}
+
+// cell returns the shard that owns the given cell.
+func (pl *placement) cell(id int) *sim.Shard {
+	s, ok := pl.byCell[id]
+	if !ok {
+		panic(fmt.Sprintf("harness: no shard for cell %d", id))
+	}
+	return s
+}
+
+// ueShard returns the shard a UE (and everything terminating on it) is
+// pinned to: the shard of its primary cell.
+func (pl *placement) ueShard(us *UESpec) *sim.Shard {
+	if len(us.CellIDs) > 0 {
+		return pl.cell(us.CellIDs[0])
+	}
+	if len(us.NRCellIDs) > 0 {
+		return pl.cell(us.NRCellIDs[0])
+	}
+	panic(fmt.Sprintf("harness: UE %d has no cells", us.ID))
+}
+
+// ShardCount reports how many shards a scenario's topology yields,
+// exposed for tests and capacity planning.
+func (sc *Scenario) ShardCount() int {
+	return len(newPlacement(sc).cluster.Shards())
+}

@@ -90,6 +90,12 @@ func NewUE(eng *sim.Engine, id int, rnti uint16) *UE {
 // cell. The UE attaches to the cell immediately, but packets are only
 // dispatched to active carriers.
 func (u *UE) AddCell(c *Cell, ch *phy.Channel) {
+	if c.eng != u.eng {
+		// Cells and their users share one event engine; in sharded runs a
+		// UE spanning shards would race its own carriers. Only netsim
+		// links may cross a shard boundary.
+		panic("lte: UE and cell live on different engines (shard boundary)")
+	}
 	c.AttachUser(u, u.RNTI, ch)
 	u.cells = append(u.cells, c)
 	u.channels = append(u.channels, ch)

@@ -19,6 +19,11 @@ type Link struct {
 
 	dst Handler
 
+	// Cross-shard wiring (nil for an ordinary link): the queue and
+	// serialization run on xsrc's engine and the propagation hop carries
+	// the packet into xdst's shard through the cluster mailbox.
+	xsrc, xdst *sim.Shard
+
 	queue       []*Packet
 	queuedBytes int
 	busy        bool
@@ -33,6 +38,41 @@ type Link struct {
 // NewLink returns a link that delivers packets to dst.
 func NewLink(eng *sim.Engine, rateBps float64, delay time.Duration, queueBytes int, dst Handler) *Link {
 	return &Link{eng: eng, RateBps: rateBps, Delay: delay, QueueBytes: queueBytes, dst: dst}
+}
+
+// NewCrossLink returns a link whose endpoints live on different shards of
+// one cluster: the drop-tail queue and serialization run on src's engine
+// and the propagation hop crosses into dst's shard. Wired links are the
+// only legal shard boundary, and the link's propagation delay is what it
+// contributes as lookahead: the constructor declares it on the cluster,
+// so the synchronization window can never exceed the fastest boundary
+// crossing. A same-shard pair degenerates to an ordinary link.
+func NewCrossLink(src, dst *sim.Shard, rateBps float64, delay time.Duration, queueBytes int, h Handler) *Link {
+	if src == nil || dst == nil {
+		panic("netsim: cross link needs both shards")
+	}
+	if src == dst {
+		return NewLink(src.Engine, rateBps, delay, queueBytes, h)
+	}
+	if delay <= 0 {
+		panic("netsim: a cross-shard link needs positive propagation delay (its lookahead)")
+	}
+	l := NewLink(src.Engine, rateBps, delay, queueBytes, h)
+	l.xsrc, l.xdst = src, dst
+	src.Cluster().DeclareLookahead(delay)
+	return l
+}
+
+// propagate carries a transmitted packet over the propagation delay to
+// the destination handler, crossing the shard boundary when the link is
+// a cross link.
+func (l *Link) propagate(p *Packet) {
+	if l.xdst != nil {
+		dst := l.xdst
+		l.xsrc.Send(dst, l.Delay, func() { l.dst.HandlePacket(dst.Now(), p) })
+		return
+	}
+	l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
 }
 
 // SetDestination rewires the link's receiving end.
@@ -52,7 +92,7 @@ func (l *Link) Send(p *Packet) {
 		// Pure-delay link: no queueing.
 		l.Delivered++
 		l.SentBytes += uint64(p.Size)
-		l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
+		l.propagate(p)
 		return
 	}
 	if l.QueueBytes > 0 && l.queuedBytes+p.Size > l.QueueBytes {
@@ -82,7 +122,7 @@ func (l *Link) transmitNext() {
 	l.eng.Schedule(txTime, func() {
 		l.Delivered++
 		l.SentBytes += uint64(p.Size)
-		l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
+		l.propagate(p)
 		l.transmitNext()
 	})
 }

@@ -55,6 +55,11 @@ func NewUE(eng *sim.Engine, id int, rnti uint16) *UE {
 
 // AddCell attaches the UE to an NR carrier with the given radio channel.
 func (u *UE) AddCell(c *Cell, ch *phy.Channel) {
+	if c.eng != u.eng {
+		// Same invariant as the LTE leg: a device is pinned to the shard
+		// of its cells, and only netsim links may cross shards.
+		panic("nr: UE and cell live on different engines (shard boundary)")
+	}
 	c.AttachUser(u, u.RNTI, ch)
 	u.cells = append(u.cells, c)
 	u.channels = append(u.channels, ch)

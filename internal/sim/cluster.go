@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cluster coordinates a set of shard-local engines under conservative
+// synchronization, the classic parallel-discrete-event recipe: every shard
+// advances through the same bounded time window, and events that cross a
+// shard boundary must be delayed by at least the cluster's lookahead (the
+// minimum cross-shard link latency), so a window can never produce an
+// event another shard should already have executed inside that window.
+//
+// Determinism contract: the shard topology and per-shard seeds are fixed
+// by construction order, cross-shard events are merged into the receiving
+// shard in (arrival time, source shard, source sequence) order at each
+// window barrier, and workers only change which OS thread advances a
+// shard, never the order of anything observable. Output is therefore
+// byte-identical for any worker count - the same contract the sweep
+// runner enforces across jobs, now held inside one scenario.
+type Cluster struct {
+	seed      int64
+	shards    []*Shard
+	lookahead time.Duration // min declared cross-shard latency; 0 = none
+	clock     time.Duration // start of the current window
+	workers   int
+}
+
+// NewCluster returns an empty cluster. Shard engine seeds derive from
+// seed; shard 0 keeps seed itself, so a one-shard cluster is
+// bit-compatible with a bare Engine created by New(seed).
+func NewCluster(seed int64) *Cluster {
+	return &Cluster{seed: seed, workers: 1}
+}
+
+// shardSeed derives shard id's engine seed from the cluster seed. The
+// derivation depends only on (seed, id), never on the worker count.
+func shardSeed(seed int64, id int) int64 {
+	if id == 0 {
+		return seed
+	}
+	return seed + int64(id)*2654435761 // Knuth's golden-ratio stride
+}
+
+// AddShard appends a shard whose engine is seeded deterministically from
+// the cluster seed and the shard's index.
+func (c *Cluster) AddShard() *Shard {
+	id := len(c.shards)
+	s := &Shard{Engine: New(shardSeed(c.seed, id)), id: id, cluster: c}
+	c.shards = append(c.shards, s)
+	return s
+}
+
+// Shards returns the cluster's shards in creation order.
+func (c *Cluster) Shards() []*Shard { return c.shards }
+
+// SetWorkers bounds how many shards advance concurrently during each
+// window (1 = serial). The choice affects wall-clock time only: results
+// are byte-identical for any value.
+func (c *Cluster) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.workers = n
+}
+
+// Workers returns the configured parallel width.
+func (c *Cluster) Workers() int { return c.workers }
+
+// DeclareLookahead records a cross-shard latency; the cluster's window
+// length is the minimum declared value. Cross-shard links declare their
+// propagation delay here at construction time.
+func (c *Cluster) DeclareLookahead(d time.Duration) {
+	if d <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	if c.lookahead == 0 || d < c.lookahead {
+		c.lookahead = d
+	}
+}
+
+// Lookahead returns the current window length (0 until a cross-shard
+// latency is declared).
+func (c *Cluster) Lookahead() time.Duration { return c.lookahead }
+
+// Now returns the start of the current synchronization window, the time
+// every shard has reached together.
+func (c *Cluster) Now() time.Duration { return c.clock }
+
+// RunUntil advances every shard to exactly time t. With no declared
+// lookahead the shards are independent and each runs straight through;
+// otherwise the cluster alternates bounded execution windows with
+// deterministic mailbox barriers.
+func (c *Cluster) RunUntil(t time.Duration) {
+	if len(c.shards) == 0 {
+		c.clock = t
+		return
+	}
+	for c.clock < t {
+		end := t
+		if c.lookahead > 0 && c.clock+c.lookahead < t {
+			end = c.clock + c.lookahead
+		}
+		c.each(func(s *Shard) { s.Engine.RunUntil(end) })
+		if c.lookahead > 0 {
+			c.each((*Shard).deliver)
+		}
+		c.clock = end
+	}
+	if c.lookahead > 0 {
+		// The final barrier may have delivered events whose arrival is
+		// exactly t (a send at the last window's start with delay ==
+		// lookahead); run them so the cluster honors Engine.RunUntil's
+		// "events with timestamps <= t" contract. This converges in one
+		// pass: anything those events send crosses with positive delay,
+		// so it arrives strictly after t and stays queued for a later
+		// RunUntil.
+		c.each(func(s *Shard) { s.Engine.RunUntil(t) })
+	}
+}
+
+// each applies f to every shard, using up to c.workers goroutines. Shards
+// are claimed through an atomic counter, so a slow shard never blocks the
+// others from proceeding within the phase; the WaitGroup barrier is what
+// publishes every shard's writes to the next phase.
+func (c *Cluster) each(f func(*Shard)) {
+	n := len(c.shards)
+	w := c.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for _, s := range c.shards {
+			f(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := next.Add(1)
+				if k >= int64(n) {
+					return
+				}
+				f(c.shards[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shard is one partition of a clustered simulation: a full Engine (free
+// list, 4-ary heap, seeded randomness) plus mailboxes for events that
+// cross to other shards. All entities pinned to a shard schedule on its
+// embedded engine exactly as they would on a standalone one.
+type Shard struct {
+	*Engine
+	id      int
+	cluster *Cluster
+
+	// outbox[dst] buffers events sent to shard dst during the current
+	// window. Only this shard's worker appends during execution; the
+	// destination drains it at the barrier.
+	outbox [][]crossEvent
+	outSeq uint64
+}
+
+// crossEvent is one mailbox entry. (at, src, seq) is a total order: seq is
+// unique per source and sources are distinct, so the barrier merge is
+// deterministic no matter how the window's execution interleaved.
+type crossEvent struct {
+	at  time.Duration
+	src int
+	seq uint64
+	fn  func()
+}
+
+// ID returns the shard's index within its cluster.
+func (s *Shard) ID() int { return s.id }
+
+// Cluster returns the owning cluster.
+func (s *Shard) Cluster() *Cluster { return s.cluster }
+
+// Send schedules fn on dst's engine delay after the current shard-local
+// time. A same-shard send degenerates to a plain Schedule. Cross-shard
+// sends require a declared lookahead and a delay of at least that
+// lookahead - the conservative-synchronization invariant that keeps every
+// delivery inside a strictly later window.
+func (s *Shard) Send(dst *Shard, delay time.Duration, fn func()) {
+	if dst == s {
+		s.Engine.Schedule(delay, fn)
+		return
+	}
+	if dst.cluster != s.cluster {
+		panic("sim: cross-shard send between different clusters")
+	}
+	la := s.cluster.lookahead
+	if la <= 0 {
+		panic("sim: cross-shard send without a declared lookahead")
+	}
+	if delay < la {
+		panic(fmt.Sprintf("sim: cross-shard delay %v below lookahead %v", delay, la))
+	}
+	for len(s.outbox) <= dst.id {
+		s.outbox = append(s.outbox, nil)
+	}
+	s.outSeq++
+	s.outbox[dst.id] = append(s.outbox[dst.id], crossEvent{
+		at: s.Engine.Now() + delay, src: s.id, seq: s.outSeq, fn: fn,
+	})
+}
+
+// deliver merges every mailbox addressed to this shard into its local
+// queue. Sorting by (arrival, source shard, source sequence) before
+// scheduling fixes the local tie-break sequence numbers, making the merge
+// independent of which worker ran which shard.
+func (d *Shard) deliver() {
+	var in []crossEvent
+	for _, s := range d.cluster.shards {
+		if d.id < len(s.outbox) && len(s.outbox[d.id]) > 0 {
+			in = append(in, s.outbox[d.id]...)
+			s.outbox[d.id] = s.outbox[d.id][:0]
+		}
+	}
+	if len(in) == 0 {
+		return
+	}
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].at != in[j].at {
+			return in[i].at < in[j].at
+		}
+		if in[i].src != in[j].src {
+			return in[i].src < in[j].src
+		}
+		return in[i].seq < in[j].seq
+	})
+	for _, ev := range in {
+		d.Engine.At(ev.at, ev.fn)
+	}
+}

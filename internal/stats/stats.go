@@ -10,6 +10,25 @@ import (
 	"time"
 )
 
+// Dist is the query surface shared by the exact Series and the streaming
+// P2Digest, so consumers (sweep rows, experiment tables) need not know
+// whether a flow recorded every sample or a constant-size digest.
+type Dist interface {
+	Percentile(p float64) float64
+	Mean() float64
+	Len() int
+	Min() float64
+	Max() float64
+}
+
+// DelayDist is a Dist that records delay samples natively in
+// time.Duration. DurationSeries is the exact implementation, DurationP2
+// the O(1)-memory streaming one used by metro-scale runs.
+type DelayDist interface {
+	Dist
+	AddDuration(v time.Duration)
+}
+
 // Series accumulates samples and answers percentile queries.
 type Series struct {
 	vals   []float64

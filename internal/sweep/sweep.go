@@ -34,6 +34,15 @@ type Spec struct {
 	NoiseLevels []float64 `json:"noise_levels,omitempty"` // capacity-noise std fractions; default [0]
 	Busy        bool      `json:"busy,omitempty"`         // busy-cell variant of every scenario
 	DurationMs  int       `json:"duration_ms,omitempty"`  // 0 = family default
+
+	// Shards bounds how many shards of a sharded scenario (the metro
+	// family) advance concurrently inside each job. It is deliberately
+	// neither a matrix axis nor part of the serialized spec: results are
+	// byte-identical for every value (so sweeping it would only run
+	// duplicate jobs, and keeping it out of the result file is what lets
+	// CI byte-compare a -shards 1 run against a -shards 4 run). Set it
+	// with pbesweep's -shards flag.
+	Shards int `json:"-"`
 }
 
 // Job is one expanded cell of the matrix.
@@ -55,6 +64,7 @@ func (j Job) params(spec *Spec) harness.Params {
 		RAT:           j.RAT,
 		Busy:          spec.Busy,
 		CapacityNoise: j.Noise,
+		Shards:        spec.Shards,
 	}
 }
 
@@ -346,5 +356,22 @@ func Smoke() *Spec {
 		RATs:        []string{harness.RATLTE, harness.RATNR},
 		NoiseLevels: []float64{0, 0.1},
 		DurationMs:  1000,
+	}
+}
+
+// MetroSmoke returns the city-scale CI slice: a cut-down metro (8 cells,
+// 128 UEs, half a second) small enough to run twice per PR, wide enough
+// to cross both RATs and the sharded engine's cross-shard SFU path. CI
+// runs it at -shards 1 and -shards 4 and byte-compares, then diffs the
+// -shards 4 result against the committed BENCH_metro_baseline.json.
+func MetroSmoke() *Spec {
+	return &Spec{
+		Name:        "metro-smoke",
+		Experiments: []string{"metro"},
+		Schemes:     []string{"pbe", "gcc"},
+		Seeds:       []int64{1, 2},
+		RATs:        []string{harness.RATLTE, harness.RATNR},
+		CellCounts:  []int{8},
+		DurationMs:  500,
 	}
 }

@@ -8,6 +8,7 @@ package trace
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"pbecc/internal/lte"
 )
@@ -168,6 +169,37 @@ func DiurnalUsers(nprb, hour int) int {
 		return diurnal20[h]
 	}
 	return diurnal10[h]
+}
+
+// Session-churn parameters for the metro workload: data sessions arrive
+// and depart continuously, with short-lived sessions dominating the
+// population the way short control-plane users dominate Figure 7. Mean
+// on-time is under a second; off-times are a little longer, so roughly
+// 40% of background users transmit at any instant - the churn that makes
+// a cell's free capacity move on PBE-CC's measurement timescale.
+const (
+	sessionOnMean  = 700 * time.Millisecond
+	sessionOffMean = 1100 * time.Millisecond
+	sessionMin     = 100 * time.Millisecond
+	sessionMax     = 4 * time.Second
+)
+
+// SessionOnOff draws one background user's on/off cycle durations:
+// exponentially distributed (memoryless arrivals/departures), clamped to
+// keep a single user from either flapping every subframe or squatting
+// for a whole scenario. Used by the metro family's churning population.
+func SessionOnOff(rng *rand.Rand) (on, off time.Duration) {
+	draw := func(mean time.Duration) time.Duration {
+		d := time.Duration(rng.ExpFloat64() * float64(mean))
+		if d < sessionMin {
+			d = sessionMin
+		}
+		if d > sessionMax {
+			d = sessionMax
+		}
+		return d
+	}
+	return draw(sessionOnMean), draw(sessionOffMean)
 }
 
 // SampleUserRate draws a user's physical data rate in Mbit/s/PRB from the

@@ -3,6 +3,7 @@ package trace
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"pbecc/internal/lte"
 )
@@ -172,5 +173,30 @@ func TestRatePopulation(t *testing.T) {
 	// Figure 11(b): 71.9-77.4% of users below half the maximum.
 	if frac < 0.68 || frac > 0.80 {
 		t.Fatalf("below-half fraction = %.3f, want ~0.74", frac)
+	}
+}
+
+func TestSessionOnOff(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var onSum, offSum time.Duration
+	n := 50000
+	for i := 0; i < n; i++ {
+		on, off := SessionOnOff(rng)
+		if on < 100*time.Millisecond || on > 4*time.Second {
+			t.Fatalf("on-time %v outside clamp", on)
+		}
+		if off < 100*time.Millisecond || off > 4*time.Second {
+			t.Fatalf("off-time %v outside clamp", off)
+		}
+		onSum += on
+		offSum += off
+	}
+	onMean := onSum / time.Duration(n)
+	offMean := offSum / time.Duration(n)
+	// Clamping pulls the means toward the window slightly; both must
+	// stay near their calibration and keep the ~40% duty cycle.
+	duty := float64(onMean) / float64(onMean+offMean)
+	if duty < 0.30 || duty > 0.50 {
+		t.Fatalf("duty cycle %.3f, want ~0.4 (on %v, off %v)", duty, onMean, offMean)
 	}
 }
