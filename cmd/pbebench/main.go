@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"pbecc/internal/harness"
+	"pbecc/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,18 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations and location grid")
 	list := flag.Bool("list", false, "list experiment ids")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
+	prof := obs.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -34,11 +34,12 @@ func main() {
 	for _, s := range harness.Schemes {
 		if s == *scheme {
 			ok = true
+			break
 		}
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q (have %v)\n", *scheme, harness.Schemes)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	loc := harness.Location{
@@ -72,6 +73,7 @@ func main() {
 	fmt.Printf("packets         %d acked, %d lost\n", f.Received, f.Lost)
 	if f.Scheme == "pbe" {
 		fmt.Printf("internet state  %.1f%% of time\n", 100*f.InternetFrac)
+		fmt.Printf("capacity error  %.1f%% mean abs (vs noise-free oracle)\n", f.PBEErrPct)
 	}
 	fmt.Printf("CA triggered    %v\n", r.CATriggered)
 }

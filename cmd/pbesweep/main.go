@@ -8,13 +8,16 @@
 //	pbesweep -smoke -out BENCH_PR.json          # built-in CI smoke matrix
 //	pbesweep -metro-smoke -shards 4 -out m.json # city-scale sharded slice
 //	pbesweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json
+//	pbesweep -benchdiff base_bench.txt cur_bench.txt  # go test -bench gate
 //	pbesweep -list                              # families, schemes, axes
 //
 // Results are bit-identical for any -workers value (every job runs on its
 // own seeded engine and rows land at their matrix index) and for any
 // -shards value (inside a sharded job, the shard topology and mailbox
 // merge order are fixed; -shards only sets how many shards advance
-// concurrently).
+// concurrently). The -obs flag enables the metrics registry for the run
+// and writes a snapshot next to the result; it never changes the result
+// bytes (CI enforces this).
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"pbecc/internal/harness"
+	"pbecc/internal/obs"
 	"pbecc/internal/sweep"
 )
 
@@ -37,9 +41,14 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "parallel shard width inside sharded jobs (0 = serial); never changes results")
 	out := flag.String("out", "-", "result file ('-' = stdout)")
+	obsOn := flag.Bool("obs", false, "enable the metrics registry and write a snapshot to <out>.obs.json (stderr when -out is '-'); never changes the result")
 	diff := flag.Bool("diff", false, "diff two result files: pbesweep -diff [-max-regress N] base.json cur.json")
-	maxRegress := flag.Float64("max-regress", 10, "with -diff: fail when any tracked metric regresses more than this percentage")
+	maxRegress := flag.Float64("max-regress", 10, "with -diff/-benchdiff: fail when any tracked metric (for -benchdiff: B/op, allocs/op) regresses more than this percentage")
+	benchDiff := flag.Bool("benchdiff", false, "diff two 'go test -bench -benchmem' output files: pbesweep -benchdiff [-max-regress N] [-max-regress-ns N] [-allow-missing] base.txt cur.txt")
+	maxRegressNs := flag.Float64("max-regress-ns", -1, "with -benchdiff: ns/op regression budget in percent; negative disables the ns/op gate (the default: wall-clock is only comparable between runs on the same machine)")
+	allowMissing := flag.Bool("allow-missing", false, "with -benchdiff: tolerate benchmarks present on only one side (base-ref comparisons that predate new benchmarks)")
 	list := flag.Bool("list", false, "list scenario families, schemes and spec axes")
+	prof := obs.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	switch {
@@ -47,8 +56,17 @@ func main() {
 		listAxes()
 	case *diff:
 		runDiff(flag.Args(), *maxRegress)
+	case *benchDiff:
+		runBenchDiff(flag.Args(), *maxRegressNs, *maxRegress, *allowMissing)
 	default:
-		runSweep(*specPath, *smoke, *metroSmoke, *workers, *shards, *out)
+		stopProf, err := prof.Start()
+		if err != nil {
+			fatal(err)
+		}
+		runSweep(*specPath, *smoke, *metroSmoke, *workers, *shards, *out, *obsOn)
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -62,7 +80,7 @@ func listAxes() {
 	fmt.Println("flags, not axes: -workers (job pool), -shards (intra-job width); neither changes results")
 }
 
-func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out string) {
+func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out string, obsOn bool) {
 	var spec *sweep.Spec
 	exclusive := 0
 	for _, on := range []bool{smoke, metroSmoke, specPath != ""} {
@@ -94,15 +112,25 @@ func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out 
 		fatal(fmt.Errorf("need -spec, -smoke, -metro-smoke, -diff or -list (see -h)"))
 	}
 	spec.Shards = shards
+	if obsOn {
+		// Fresh registry state so the snapshot covers exactly this sweep.
+		obs.Reset()
+		obs.Enable()
+	}
 
 	start := time.Now()
-	res, err := sweep.Run(spec, workers)
+	res, err := sweep.RunProgress(spec, workers, progressLine(start))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep %q: %d jobs in %v\n",
 		spec.Name, len(res.Rows), time.Since(start).Round(time.Millisecond))
 
+	if obsOn {
+		if err := writeSnapshot(out); err != nil {
+			fatal(err)
+		}
+	}
 	if out == "-" {
 		if err := sweep.WriteResult(os.Stdout, res); err != nil {
 			fatal(err)
@@ -133,6 +161,41 @@ func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out 
 	}
 }
 
+// progressLine returns the RunProgress callback that rewrites one live
+// "done/total, elapsed" line on stderr, or nil when stderr is not a
+// terminal (CI logs must not fill with carriage returns). The final
+// summary line printed after the sweep overwrites it.
+func progressLine(start time.Time) func(done, total int) {
+	st, err := os.Stderr.Stat()
+	if err != nil || st.Mode()&os.ModeCharDevice == 0 {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d jobs, %v elapsed",
+			done, total, time.Since(start).Round(time.Second))
+		if done == total {
+			fmt.Fprintf(os.Stderr, "\r\033[K")
+		}
+	}
+}
+
+// writeSnapshot dumps the metrics registry: to stderr when the result
+// goes to stdout, else to <out>.obs.json beside the result file.
+func writeSnapshot(out string) error {
+	if out == "-" {
+		return obs.WriteSnapshot(os.Stderr)
+	}
+	f, err := os.Create(out + ".obs.json")
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func runDiff(args []string, maxRegress float64) {
 	if len(args) != 2 {
 		fatal(fmt.Errorf("-diff needs exactly two result files, got %d", len(args)))
@@ -153,6 +216,43 @@ func runDiff(args []string, maxRegress float64) {
 	if worst := sweep.WorstRegression(deltas); worst > maxRegress {
 		fmt.Fprintf(os.Stderr, "FAIL: worst regression %.2f%% exceeds the %.2f%% budget\n",
 			worst, maxRegress)
+		os.Exit(1)
+	}
+}
+
+// runBenchDiff gates `go test -bench -benchmem` output: the
+// deterministic B/op and allocs/op columns against allocBudget, and -
+// only when explicitly enabled with a non-negative nsBudget, for
+// same-machine base-ref comparisons - ns/op.
+func runBenchDiff(args []string, nsBudget, allocBudget float64, allowMissing bool) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-benchdiff needs exactly two bench output files, got %d", len(args)))
+	}
+	parse := func(path string) map[string]sweep.Bench {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		b, err := sweep.ParseBench(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		return b
+	}
+	base, cur := parse(args[0]), parse(args[1])
+	deltas, err := sweep.DiffBench(base, cur, allowMissing)
+	if err != nil {
+		fatal(err)
+	}
+	sweep.FprintDeltas(os.Stdout, deltas)
+	if bad := sweep.ExceededBench(deltas, nsBudget, allocBudget); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d benchmark metric(s) exceed their budget (ns/op %.2f%%, B/op+allocs/op %.2f%%):\n",
+			len(bad), nsBudget, allocBudget)
+		for _, d := range bad {
+			fmt.Fprintf(os.Stderr, "  %s %s: %.2f -> %.2f (+%.2f%%)\n",
+				d.Group, d.Metric, d.Base, d.Cur, d.RegressPct)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,10 +1,22 @@
 package cc
 
 import (
+	"fmt"
 	"time"
 
 	"pbecc/internal/netsim"
+	"pbecc/internal/obs"
 	"pbecc/internal/sim"
+)
+
+// Transport metrics, aggregated across flows and schemes. A "rate
+// decision" is any ACK or loss event after which the controller's pacing
+// rate or window actually changed.
+var (
+	mAcks          = obs.NewCounter("cc.acks")
+	mLosses        = obs.NewCounter("cc.losses")
+	mRateDecisions = obs.NewCounter("cc.rate_decisions")
+	mPacingKbps    = obs.NewHistogram("cc.pacing_rate_kbps")
 )
 
 // Sender is a full-buffer, UDP-based data sender driven by a Controller,
@@ -59,6 +71,12 @@ type Sender struct {
 	LostPackets  uint64
 	SentBytes    uint64
 	AckedBytes   uint64
+
+	// Last observed controller decision, for change-triggered metric and
+	// trace emission; trace track names are built once per flow.
+	lastRate             float64
+	lastCwnd             int
+	traceRate, traceCwnd string
 }
 
 type sentPkt struct {
@@ -252,11 +270,50 @@ func (s *Sender) HandlePacket(now time.Duration, p *netsim.Packet) {
 		InternetBottleneck: p.Ack.InternetBottleneck,
 	}
 	s.ctrl.OnAck(sample)
+	mAcks.Inc()
+	s.observeDecision(now)
 	if s.OnAckHook != nil {
 		s.OnAckHook(sample)
 	}
 	s.compactOrder()
 	s.pump()
+}
+
+// observeDecision records the controller's post-event pacing rate and
+// window when either changed: a counter plus a rate histogram in the
+// metrics registry, and - when the run is traced - one counter track per
+// flow for the Perfetto cc-decision timeline. Purely observational: it
+// reads the controller, never drives it.
+func (s *Sender) observeDecision(now time.Duration) {
+	buf := s.eng.ObsBuffer()
+	metricsOn := obs.Enabled()
+	if buf == nil && !metricsOn {
+		return
+	}
+	rate := s.ctrl.PacingRate()
+	cwnd := s.ctrl.CWND()
+	if rate == s.lastRate && cwnd == s.lastCwnd {
+		return
+	}
+	if metricsOn {
+		mRateDecisions.Inc()
+		if rate > 0 {
+			mPacingKbps.Observe(int64(rate / 1e3))
+		}
+	}
+	if buf != nil {
+		if s.traceRate == "" {
+			s.traceRate = fmt.Sprintf("cc/%s/flow%d/rate_mbps", s.ctrl.Name(), s.FlowID)
+			s.traceCwnd = fmt.Sprintf("cc/%s/flow%d/cwnd_kB", s.ctrl.Name(), s.FlowID)
+		}
+		if rate != s.lastRate {
+			buf.CounterEvent(s.traceRate, now, rate/1e6)
+		}
+		if cwnd != s.lastCwnd {
+			buf.CounterEvent(s.traceCwnd, now, float64(cwnd)/1e3)
+		}
+	}
+	s.lastRate, s.lastCwnd = rate, cwnd
 }
 
 // sweepLosses declares packets lost when they have been in flight longer
@@ -288,7 +345,9 @@ func (s *Sender) sweepLosses() {
 			Bytes:         info.bytes,
 			InflightBytes: s.inflightBytes,
 		})
+		mLosses.Inc()
 	}
+	s.observeDecision(now)
 	s.compactOrder()
 	s.pump()
 }

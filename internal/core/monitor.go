@@ -86,6 +86,12 @@ type Monitor struct {
 
 	cells map[int]*cellTrack
 	order []int
+
+	// lastCapacity is the value the most recent CapacityBits call
+	// returned. The accuracy probe reads it through LastCapacityBits
+	// instead of calling CapacityBits itself: a fresh call would draw
+	// from the Noise hook's RNG and perturb the simulation it observes.
+	lastCapacity float64
 }
 
 // cellTrack is the sliding window of one cell. The ring holds one sample
@@ -345,8 +351,15 @@ func (m *Monitor) CapacityBits() float64 {
 	for _, id := range m.order {
 		total += m.translate(id, m.CellCapacityPerMs(id))
 	}
-	return m.noisy(total)
+	m.lastCapacity = m.noisy(total)
+	return m.lastCapacity
 }
+
+// LastCapacityBits returns the most recent CapacityBits result without
+// recomputing it. It never draws from the Noise hook, so observers (the
+// measurement-accuracy probe) can read the estimate the transport
+// actually acted on without perturbing the RNG stream.
+func (m *Monitor) LastCapacityBits() float64 { return m.lastCapacity }
 
 // FairShareBits returns C_f of Eqn 2 summed over the aggregated cells and
 // translated to transport-layer bits per millisecond.

@@ -22,6 +22,7 @@ import (
 	"pbecc/internal/lte"
 	"pbecc/internal/netsim"
 	"pbecc/internal/nr"
+	"pbecc/internal/obs"
 	"pbecc/internal/pdcch"
 	"pbecc/internal/phy"
 	"pbecc/internal/rtc"
@@ -170,6 +171,13 @@ type Scenario struct {
 	// constant-size P² digests instead of exact per-packet sample
 	// series, keeping memory O(flows) at metro scale.
 	StreamStats bool
+
+	// Trace records a virtual-time execution trace of the run: shard
+	// window spans, per-flow congestion-control decision tracks, and
+	// PBE estimation-error tracks, merged deterministically at window
+	// barriers and exported through Result.Trace as Chrome trace-event
+	// JSON. Tracing changes what is observed, never what happens.
+	Trace bool
 }
 
 // SFUSpec configures the fan-out relay and its ingest leg.
@@ -238,6 +246,11 @@ type FlowResult struct {
 	// PBE-only statistics.
 	InternetFrac float64
 
+	// PBEErrPct is the mean absolute relative error of the capacity
+	// estimate the transport acted on versus a noise-free oracle monitor,
+	// in percent (PBE flows only; see pbeProbe).
+	PBEErrPct float64
+
 	// Timeline series sampled every 100 ms (rate in Mbit/s, delay ms).
 	TimelineT []time.Duration
 	TimelineR []float64
@@ -270,6 +283,10 @@ type Result struct {
 	// PRBSamples[ueIndex] holds the sampled primary-cell PRB shares.
 	PRBTimes   []time.Duration
 	PRBSamples map[int][]float64
+
+	// Trace is the run's merged virtual-time trace when Scenario.Trace
+	// was set (nil otherwise); export with Trace.WriteChromeTrace.
+	Trace *obs.Recorder
 }
 
 // Run executes the scenario and collects per-flow statistics.
@@ -373,8 +390,11 @@ func Run(sc *Scenario) *Result {
 	}
 
 	// PBE monitors: one per UE hosting at least one PBE flow, fed by every
-	// configured cell but tracking only the active set.
+	// configured cell but tracking only the active set. Each monitor gets
+	// a measurement-accuracy probe whose oracle mirrors every attach and
+	// detach but takes the direct (noise-free, decode-free) feed.
 	monitors := map[int]*core.Monitor{}
+	probes := map[int]*pbeProbe{}
 	clientGroups := map[int]*clientGroup{}
 	for _, fs := range sc.Flows {
 		if fs.Scheme != "pbe" {
@@ -394,21 +414,25 @@ func Run(sc *Scenario) *Result {
 				return v * (1 + sigma*rng.NormFloat64())
 			}
 		}
+		probe := newPBEProbe(mon, us.RNTI)
 		monitors[fs.UE] = mon
+		probes[fs.UE] = probe
 		clientGroups[fs.UE] = &clientGroup{}
 
 		// attachNR registers one NR carrier with its slot clock.
 		attachNR := func(cid int) {
 			cell := nrCells[cid]
 			ch := channels[[2]int{fs.UE, cid}]
-			mon.AttachCell(core.CellInfo{
+			info := core.CellInfo{
 				ID:               cell.ID,
 				NPRB:             cell.NPRB,
 				SlotsPerSubframe: cell.SlotsPerSubframe(),
 				CBGBits:          nr.CodeBlockBits,
 				Rate:             func() float64 { return ch.MCS().BitsPerPRB() },
 				BER:              func() float64 { return ch.BER() },
-			})
+			}
+			mon.AttachCell(info)
+			probe.oracle.AttachCell(info)
 		}
 		// attachLTE tracks the anchor's active LTE carrier set, preserving
 		// any NR cells already attached to the monitor.
@@ -427,17 +451,20 @@ func Run(sc *Scenario) *Result {
 				}
 				if !already {
 					ch := channels[[2]int{fs.UE, c.ID}]
-					mon.AttachCell(core.CellInfo{
+					info := core.CellInfo{
 						ID:   c.ID,
 						NPRB: c.NPRB,
 						Rate: func() float64 { return ch.MCS().BitsPerPRB() },
 						BER:  func() float64 { return ch.BER() },
-					})
+					}
+					mon.AttachCell(info)
+					probe.oracle.AttachCell(info)
 				}
 			}
 			for _, id := range append([]int(nil), mon.ActiveCellIDs()...) {
 				if !activeSet[id] {
 					mon.DetachCell(id)
+					probe.oracle.DetachCell(id)
 				}
 			}
 		}
@@ -456,6 +483,7 @@ func Run(sc *Scenario) *Result {
 					attachNR(nrID)
 				} else {
 					mon.DetachCell(nrID)
+					probe.oracle.DetachCell(nrID)
 				}
 			})
 		case *nr.UE:
@@ -465,12 +493,22 @@ func Run(sc *Scenario) *Result {
 		}
 		for _, cid := range us.CellIDs {
 			cells[cid].AttachMonitor(monitorFeed(sc, cells[cid], mon))
+			cells[cid].AttachMonitor(probe.oracle.OnSubframe)
 		}
 		for _, cid := range us.NRCellIDs {
 			// NR control information feeds the monitor directly; the
 			// bit-level PDCCH encode/decode path models the LTE control
 			// channel only.
 			nrCells[cid].AttachMonitor(mon.OnSubframe)
+			nrCells[cid].AttachMonitor(probe.oracle.OnSubframe)
+		}
+		// The accuracy sampler runs once per primary-cell slot, attached
+		// after both feeds so it observes fully ingested windows.
+		sample := probe.sampler(pl.ueShard(us).Engine, us.ID)
+		if len(us.CellIDs) > 0 {
+			cells[us.CellIDs[0]].AttachMonitor(sample)
+		} else {
+			nrCells[us.NRCellIDs[0]].AttachMonitor(sample)
 		}
 	}
 
@@ -587,8 +625,9 @@ func Run(sc *Scenario) *Result {
 	}
 
 	pl.cluster.RunUntil(sc.Duration)
+	res.Trace = pl.cluster.Recorder()
 
-	for _, fr := range res.Flows {
+	for i, fr := range res.Flows {
 		if fr.windows != nil {
 			fr.Tput = fr.windows.RatesMbps(fr.start, fr.stop)
 			span := (fr.stop - fr.start).Seconds()
@@ -610,6 +649,9 @@ func Run(sc *Scenario) *Result {
 		}
 		if fr.pbe != nil {
 			fr.InternetFrac = fr.pbe.InternetFraction()
+			if pr := probes[sc.Flows[i].UE]; pr != nil {
+				fr.PBEErrPct = pr.ErrPct()
+			}
 		}
 	}
 	for _, ue := range ues {

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"pbecc/internal/obs"
+)
+
+// obsFingerprint extends the metro fingerprint with the probe's
+// estimation-error metric, so the determinism checks cover everything the
+// sweep rows read.
+func obsFingerprint(t *testing.T, res *Result) []byte {
+	t.Helper()
+	errs := make([]float64, len(res.Flows))
+	for i, f := range res.Flows {
+		errs[i] = f.PBEErrPct
+	}
+	b, err := json.Marshal(struct {
+		Base   json.RawMessage
+		PBEErr []float64
+	}{metroFingerprint(t, res), errs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runMetroObs(t *testing.T, shards int, metrics, trace bool) ([]byte, *Result) {
+	t.Helper()
+	sc, err := BuildScenario("metro", "pbe", Params{
+		Seed: 5, Cells: 4, Duration: 300 * time.Millisecond, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Trace = trace
+	if metrics {
+		obs.Reset()
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.Reset()
+		}()
+	}
+	res := Run(sc)
+	return obsFingerprint(t, res), res
+}
+
+// TestObservabilityDoesNotChangeResults is the layer's central contract:
+// a metro slice is byte-identical with metrics and tracing off, with both
+// on, and for any parallel shard width - observation never feeds back
+// into the simulation.
+func TestObservabilityDoesNotChangeResults(t *testing.T) {
+	base, baseRes := runMetroObs(t, 1, false, false)
+	if baseRes.Trace != nil {
+		t.Fatal("untraced run returned a recorder")
+	}
+	cases := []struct {
+		name           string
+		shards         int
+		metrics, trace bool
+	}{
+		{"metrics on", 1, true, false},
+		{"metrics+trace on", 1, true, true},
+		{"metrics+trace on, shards 4", 4, true, true},
+	}
+	for _, c := range cases {
+		got, res := runMetroObs(t, c.shards, c.metrics, c.trace)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("%s: results differ from the plain run", c.name)
+		}
+		if c.trace && (res.Trace == nil || res.Trace.Len() == 0) {
+			t.Fatalf("%s: traced run produced no events", c.name)
+		}
+	}
+}
+
+// TestTraceByteIdenticalAcrossShards: the merged trace itself - not just
+// the simulation results - is independent of the parallel width, because
+// rings drain serially in shard order and (TS, Pid, seq) is a total
+// order.
+func TestTraceByteIdenticalAcrossShards(t *testing.T) {
+	render := func(shards int) []byte {
+		_, res := runMetroObs(t, shards, false, true)
+		var buf bytes.Buffer
+		if err := res.Trace.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(1), render(4)) {
+		t.Fatal("trace bytes differ between -shards 1 and -shards 4")
+	}
+}
+
+// TestMetricsCountMetroActivity: with metrics on, the instrumented
+// subsystems all register activity in a metro run.
+func TestMetricsCountMetroActivity(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	sc, err := BuildScenario("metro", "pbe", Params{
+		Seed: 2, Cells: 2, Duration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(sc)
+	snap := obs.TakeSnapshot()
+	for _, name := range []string{
+		"sim.events_scheduled",
+		"cluster.window_barriers",
+		"cluster.cross_events",
+		"netsim.packets_delivered",
+		"cc.acks",
+		"cc.rate_decisions",
+		"rtc.frames_sent",
+		"pbe.probe_samples",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s stayed zero across a metro run", name)
+		}
+	}
+	if snap.Watermarks["sim.heap_len_max"] == 0 {
+		t.Error("heap watermark stayed zero")
+	}
+}
+
+// TestPBEErrProbeRespondsToNoise: the estimation-error metric must grow
+// with injected measurement noise - the signal the sweep's accuracy
+// column exists to expose.
+func TestPBEErrProbeRespondsToNoise(t *testing.T) {
+	run := func(noise float64) float64 {
+		sc, err := BuildScenario("steady", "pbe", Params{
+			Seed: 1, Duration: 400 * time.Millisecond, CapacityNoise: noise})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(sc)
+		return res.Flows[0].PBEErrPct
+	}
+	clean, noisy := run(0), run(0.2)
+	if noisy <= clean {
+		t.Fatalf("PBEErrPct did not grow with noise: clean=%v noisy=%v", clean, noisy)
+	}
+	if clean < 0 || clean > 100 {
+		t.Fatalf("clean-run error out of range: %v", clean)
+	}
+}

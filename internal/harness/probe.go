@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"pbecc/internal/core"
+	"pbecc/internal/lte"
+	"pbecc/internal/obs"
+	"pbecc/internal/sim"
+)
+
+// Probe metrics: sample volume and the distribution of the per-sample
+// capacity estimation error (percent, power-of-two buckets).
+var (
+	mProbeSamples = obs.NewCounter("pbe.probe_samples")
+	mProbeErrPct  = obs.NewHistogram("pbe.capacity_err_pct")
+)
+
+// pbeProbe measures how accurate PBE-CC's capacity estimate actually is,
+// per UE: alongside the monitor the transport uses (which may see PDCCH
+// decode errors and the measurement-noise hook), the probe runs a second
+// "oracle" monitor fed the same control information directly, with no
+// noise - the ground truth the paper's Figure 6 methodology compares
+// against. Once per primary-cell scheduling slot it records the relative
+// error between the estimate the transport last acted on and the oracle's
+// current value.
+//
+// The probe is strictly passive and always on for PBE flows: it reads the
+// transport monitor only through Monitor.LastCapacityBits (never calling
+// CapacityBits, which would draw from the Noise hook's RNG and perturb
+// the run it observes), and the oracle has no noise source, so its own
+// CapacityBits calls are pure. Sweep rows are therefore byte-identical
+// whether or not the obs layer is enabled.
+type pbeProbe struct {
+	mon    *core.Monitor
+	oracle *core.Monitor
+
+	sumAbs float64
+	n      uint64
+}
+
+// newPBEProbe builds the probe for one UE's transport monitor. The caller
+// must mirror every AttachCell/DetachCell on the oracle and feed it each
+// cell's reports directly (bypassing any PDCCH decode path).
+func newPBEProbe(mon *core.Monitor, rnti uint16) *pbeProbe {
+	oracle := core.NewMonitor(rnti)
+	oracle.UseFilter = mon.UseFilter
+	return &pbeProbe{mon: mon, oracle: oracle}
+}
+
+// sampler returns the per-slot callback attached to the UE's primary
+// cell, after both monitor feeds, so it observes a fully ingested slot.
+// When the run is traced it also emits the error as a per-UE counter
+// track.
+func (p *pbeProbe) sampler(eng *sim.Engine, ueID int) lte.Monitor {
+	var track string
+	return func(rep *lte.SubframeReport) {
+		est := p.mon.LastCapacityBits()
+		truth := p.oracle.CapacityBits()
+		if est <= 0 || truth <= 0 {
+			return // no feedback taken yet, or an empty window
+		}
+		e := (est - truth) / truth
+		if e < 0 {
+			e = -e
+		}
+		p.sumAbs += e
+		p.n++
+		if obs.Enabled() {
+			mProbeSamples.Inc()
+			mProbeErrPct.Observe(int64(e * 100))
+		}
+		if buf := eng.ObsBuffer(); buf != nil {
+			if track == "" {
+				track = fmt.Sprintf("pbe/ue%d/err_pct", ueID)
+			}
+			buf.CounterEvent(track, eng.Now(), e*100)
+		}
+	}
+}
+
+// ErrPct returns the mean absolute relative estimation error in percent
+// (0 when no sample was taken).
+func (p *pbeProbe) ErrPct() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return 100 * p.sumAbs / float64(p.n)
+}

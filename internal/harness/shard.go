@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"pbecc/internal/obs"
 	"pbecc/internal/sim"
 )
 
@@ -33,6 +34,9 @@ func newPlacement(sc *Scenario) *placement {
 		workers = 1
 	}
 	cl.SetWorkers(workers)
+	if sc.Trace {
+		cl.SetRecorder(obs.NewRecorder())
+	}
 	pl := &placement{cluster: cl, byCell: map[int]*sim.Shard{}}
 
 	if !sc.Sharded {

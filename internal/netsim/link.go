@@ -3,7 +3,17 @@ package netsim
 import (
 	"time"
 
+	"pbecc/internal/obs"
 	"pbecc/internal/sim"
+)
+
+// Link metrics, aggregated over every link in the process: delivery and
+// drop volume plus queue-occupancy distribution and high watermark.
+var (
+	mDelivered  = obs.NewCounter("netsim.packets_delivered")
+	mDropped    = obs.NewCounter("netsim.packets_dropped")
+	mQueueBytes = obs.NewHistogram("netsim.queue_bytes")
+	mQueueMax   = obs.NewWatermark("netsim.queue_bytes_max")
 )
 
 // Link is a fixed-rate, fixed-propagation-delay link with a drop-tail
@@ -92,16 +102,22 @@ func (l *Link) Send(p *Packet) {
 		// Pure-delay link: no queueing.
 		l.Delivered++
 		l.SentBytes += uint64(p.Size)
+		mDelivered.Inc()
 		l.propagate(p)
 		return
 	}
 	if l.QueueBytes > 0 && l.queuedBytes+p.Size > l.QueueBytes {
 		l.Drops++
 		l.DropsBytes += uint64(p.Size)
+		mDropped.Inc()
 		return
 	}
 	l.queue = append(l.queue, p)
 	l.queuedBytes += p.Size
+	if obs.Enabled() {
+		mQueueBytes.Observe(int64(l.queuedBytes))
+		mQueueMax.Observe(int64(l.queuedBytes))
+	}
 	if !l.busy {
 		l.transmitNext()
 	}
@@ -122,6 +138,7 @@ func (l *Link) transmitNext() {
 	l.eng.Schedule(txTime, func() {
 		l.Delivered++
 		l.SentBytes += uint64(p.Size)
+		mDelivered.Inc()
 		l.propagate(p)
 		l.transmitNext()
 	})

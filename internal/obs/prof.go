@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileFlags bundles the standard runtime-profiling flags the pbe
+// commands share: CPU, heap and mutex profiles plus a runtime/trace
+// capture. Register them on a FlagSet before flag.Parse, then bracket
+// the workload with Start and the returned stop function.
+type ProfileFlags struct {
+	CPU   string
+	Mem   string
+	Mutex string
+	Trace string
+}
+
+// RegisterProfileFlags adds -cpuprofile, -memprofile, -mutexprofile and
+// -trace to fs (use flag.CommandLine for a command's top level).
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&p.Mutex, "mutexprofile", "", "write a mutex-contention profile to this file at exit")
+	fs.StringVar(&p.Trace, "trace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// Start begins the requested captures and returns the function that
+// finalizes them (stop CPU/trace capture, write heap and mutex
+// profiles). Call stop on the normal exit path; it is safe to call when
+// no flag was set.
+func (p *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	if p.CPU != "" {
+		if cpuF, err = os.Create(p.CPU); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		if traceF, err = os.Create(p.Trace); err != nil {
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			keep(cpuF.Close())
+		}
+		if traceF != nil {
+			trace.Stop()
+			keep(traceF.Close())
+		}
+		if p.Mem != "" {
+			keep(writeProfile(p.Mem, func(f *os.File) error {
+				runtime.GC() // materialize the final live set
+				return pprof.WriteHeapProfile(f)
+			}))
+		}
+		if p.Mutex != "" {
+			keep(writeProfile(p.Mutex, func(f *os.File) error {
+				return pprof.Lookup("mutex").WriteTo(f, 0)
+			}))
+		}
+		return firstErr
+	}, nil
+}
+
+func writeProfile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestBufferDrainPreservesOrder(t *testing.T) {
+	r := NewRecorder()
+	b := r.NewBuffer(0)
+	for i := 0; i < 5; i++ {
+		b.CounterEvent("x", time.Duration(i)*time.Millisecond, float64(i))
+	}
+	r.Drain(b)
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("drained %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.V != float64(i) {
+			t.Fatalf("event %d has value %v, want %d", i, ev.V, i)
+		}
+	}
+}
+
+func TestRingOverwriteKeepsNewestAndCountsDropped(t *testing.T) {
+	r := NewRecorder()
+	r.SetBufferCap(4)
+	b := r.NewBuffer(0)
+	for i := 0; i < 10; i++ {
+		b.CounterEvent("x", time.Duration(i), float64(i))
+	}
+	r.Drain(b)
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events, want 4", len(evs))
+	}
+	for i, want := range []float64{6, 7, 8, 9} {
+		if evs[i].V != want {
+			t.Fatalf("event %d = %v, want %v (newest must survive)", i, evs[i].V, want)
+		}
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped)
+	}
+}
+
+// TestMergeTotalOrder: events from several shards merge into the
+// (TS, Pid, seq) total order regardless of drain interleaving.
+func TestMergeTotalOrder(t *testing.T) {
+	r := NewRecorder()
+	b0, b1 := r.NewBuffer(0), r.NewBuffer(1)
+	// Same timestamps on both shards; shard order must break the tie.
+	for i := 0; i < 3; i++ {
+		b1.Instant("b", "t", time.Duration(i)*time.Millisecond, 0)
+		b0.Instant("a", "t", time.Duration(i)*time.Millisecond, 0)
+	}
+	// Drain in "wrong" order; the sort must not care.
+	r.Drain(b1)
+	r.Drain(b0)
+	evs := r.Events()
+	want := []struct {
+		name string
+		pid  int
+	}{{"a", 0}, {"b", 1}, {"a", 0}, {"b", 1}, {"a", 0}, {"b", 1}}
+	for i, w := range want {
+		if evs[i].Name != w.name || evs[i].Pid != w.pid {
+			t.Fatalf("merged[%d] = %s/pid%d, want %s/pid%d",
+				i, evs[i].Name, evs[i].Pid, w.name, w.pid)
+		}
+	}
+}
+
+func TestWriteChromeTraceValidAndDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		r := NewRecorder()
+		b := r.NewBuffer(2)
+		b.Complete("window", "shard", 10*time.Millisecond, 5*time.Millisecond, 0)
+		b.CounterEvent("rate", 12*time.Millisecond, 3.25)
+		b.Instant("shed", "rtc", 13*time.Millisecond, 7)
+		r.Drain(b)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recorders produced different trace bytes")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Args map[string]float64
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, a.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[0]
+	// Virtual nanoseconds render as microsecond ts: 10 ms -> 10000 µs.
+	if span.Ph != "X" || span.TS != 10000 || span.Dur != 5000 || span.Pid != 2 {
+		t.Fatalf("span event wrong: %+v", span)
+	}
+	if doc.TraceEvents[1].Args["v"] != 3.25 {
+		t.Fatalf("counter args = %v, want v=3.25", doc.TraceEvents[1].Args)
+	}
+	if doc.TraceEvents[2].Tid != 7 {
+		t.Fatalf("instant tid = %d, want 7", doc.TraceEvents[2].Tid)
+	}
+}

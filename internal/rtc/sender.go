@@ -5,7 +5,15 @@ import (
 
 	"pbecc/internal/cc"
 	"pbecc/internal/netsim"
+	"pbecc/internal/obs"
 	"pbecc/internal/sim"
+)
+
+// Media metrics, aggregated over every media sender and SFU leg.
+var (
+	mFramesSent = obs.NewCounter("rtc.frames_sent")
+	mFramesShed = obs.NewCounter("rtc.frames_shed")
+	mPadding    = obs.NewCounter("rtc.padding_packets")
 )
 
 // Sender is the media transport: it packetizes queued frames into
@@ -130,6 +138,10 @@ func (s *Sender) next(now time.Duration) *netsim.Packet {
 		head := s.queue[0]
 		if now-head.frame.CapturedAt > s.spec.MaxQueueDelay {
 			s.FramesDropped++
+			mFramesShed.Inc()
+			if buf := s.eng.ObsBuffer(); buf != nil {
+				buf.Instant("frame_shed", "rtc", now, s.snd.FlowID)
+			}
 			// Only the untransmitted remainder counts as dropped bytes;
 			// the sent prefix is already in the transport's SentBytes.
 			for _, p := range head.pkts[head.sent:] {
@@ -142,6 +154,7 @@ func (s *Sender) next(now time.Duration) *netsim.Packet {
 		head.sent++
 		if head.sent == len(head.pkts) {
 			s.FramesSent++
+			mFramesSent.Inc()
 			s.queue = s.queue[1:]
 		}
 		// Delivery-rate samples reflect network capacity only while more
@@ -156,6 +169,7 @@ func (s *Sender) next(now time.Duration) *netsim.Packet {
 	// receiver-side estimator keeps measuring the path even when the
 	// encoder uses less than the transport offers.
 	s.PaddingSent++
+	mPadding.Inc()
 	s.snd.AppLimited = false
 	return &netsim.Packet{Size: netsim.MSS, Padding: true}
 }

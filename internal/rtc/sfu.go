@@ -3,7 +3,16 @@ package rtc
 import (
 	"pbecc/internal/cc"
 	"pbecc/internal/netsim"
+	"pbecc/internal/obs"
 	"pbecc/internal/sim"
+)
+
+// SFU metrics: committed layer changes, and frames a leg spent waiting
+// for the keyframe that lets a pending switch commit (a decoder cannot
+// join a simulcast stream mid-GoP, so this gate is the switch latency).
+var (
+	mLayerSwitches = obs.NewCounter("sfu.layer_switches")
+	mKeyframeGated = obs.NewCounter("sfu.keyframe_gated_frames")
 )
 
 // compile-time check: a Sender terminates the SFU's ack paths.
@@ -95,9 +104,14 @@ func (s *SFU) Stop() {
 func (s *SFU) OnFrame(f Frame) {
 	for _, sub := range s.subs {
 		sub.target = s.spec.LayerFor(sub.Send.AvailableRate())
-		if f.Keyframe && sub.target != sub.layer {
-			sub.layer = sub.target
-			sub.LayerSwitches++
+		if sub.target != sub.layer {
+			if f.Keyframe {
+				sub.layer = sub.target
+				sub.LayerSwitches++
+				mLayerSwitches.Inc()
+			} else if f.Layer == sub.layer {
+				mKeyframeGated.Inc()
+			}
 		}
 		if f.Layer == sub.layer {
 			sub.Send.QueueFrame(f)

@@ -6,6 +6,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pbecc/internal/obs"
+)
+
+// Cluster metrics. Window counts and cross-shard traffic are counters
+// (order-independent sums), so a snapshot is identical for any worker
+// count; the idle ratio is derivable as shard_windows_idle/shard_windows.
+var (
+	mBarriers     = obs.NewCounter("cluster.window_barriers")
+	mShardWindows = obs.NewCounter("cluster.shard_windows")
+	mIdleWindows  = obs.NewCounter("cluster.shard_windows_idle")
+	mCrossEvents  = obs.NewCounter("cluster.cross_events")
+	mMailboxMax   = obs.NewWatermark("cluster.mailbox_batch_max")
 )
 
 // Cluster coordinates a set of shard-local engines under conservative
@@ -28,6 +41,12 @@ type Cluster struct {
 	lookahead time.Duration // min declared cross-shard latency; 0 = none
 	clock     time.Duration // start of the current window
 	workers   int
+
+	// rec, when non-nil, collects the run's virtual-time trace: each
+	// shard gets a ring buffer, drained into the recorder at every
+	// window barrier (a serial phase, in shard order, so the merged
+	// trace is byte-identical for any worker count).
+	rec *obs.Recorder
 }
 
 // NewCluster returns an empty cluster. Shard engine seeds derive from
@@ -51,9 +70,30 @@ func shardSeed(seed int64, id int) int64 {
 func (c *Cluster) AddShard() *Shard {
 	id := len(c.shards)
 	s := &Shard{Engine: New(shardSeed(c.seed, id)), id: id, cluster: c}
+	if c.rec != nil {
+		s.Engine.SetObsBuffer(c.rec.NewBuffer(id))
+	}
 	c.shards = append(c.shards, s)
 	return s
 }
+
+// SetRecorder attaches a trace recorder: every shard (existing and
+// future) gets a ring buffer keyed by its id. Tracing changes what is
+// observed, never what happens - the engines run identically with or
+// without it.
+func (c *Cluster) SetRecorder(r *obs.Recorder) {
+	c.rec = r
+	for _, s := range c.shards {
+		if r != nil {
+			s.Engine.SetObsBuffer(r.NewBuffer(s.id))
+		} else {
+			s.Engine.SetObsBuffer(nil)
+		}
+	}
+}
+
+// Recorder returns the attached trace recorder (nil when untraced).
+func (c *Cluster) Recorder() *obs.Recorder { return c.rec }
 
 // Shards returns the cluster's shards in creation order.
 func (c *Cluster) Shards() []*Shard { return c.shards }
@@ -109,6 +149,7 @@ func (c *Cluster) RunUntil(t time.Duration) {
 		if c.lookahead > 0 {
 			c.each((*Shard).deliver)
 		}
+		c.observeWindow(c.clock, end)
 		c.clock = end
 	}
 	if c.lookahead > 0 {
@@ -120,6 +161,45 @@ func (c *Cluster) RunUntil(t time.Duration) {
 		// so it arrives strictly after t and stays queued for a later
 		// RunUntil.
 		c.each(func(s *Shard) { s.Engine.RunUntil(t) })
+	}
+	if c.rec != nil {
+		// Collect anything emitted after the last barrier (the final
+		// convergence pass above, or an unsharded straight-through run).
+		for _, s := range c.shards {
+			c.rec.Drain(s.Engine.ObsBuffer())
+		}
+	}
+}
+
+// observeWindow is the serial per-window bookkeeping: shard idle
+// accounting, window-span trace emission, and ring drains. A shard that
+// executed no events this window leaves a gap in its trace track - the
+// visual form of the idle fraction the metrics count.
+func (c *Cluster) observeWindow(start, end time.Duration) {
+	metricsOn := obs.Enabled()
+	if !metricsOn && c.rec == nil {
+		return
+	}
+	if metricsOn {
+		mBarriers.Inc()
+	}
+	for _, s := range c.shards {
+		exec := s.Engine.Executed()
+		idle := exec == s.prevExec
+		s.prevExec = exec
+		if metricsOn {
+			mShardWindows.Inc()
+			if idle {
+				mIdleWindows.Inc()
+			}
+		}
+		if c.rec != nil {
+			buf := s.Engine.ObsBuffer()
+			if buf != nil && !idle {
+				buf.Complete("window", "shard", start, end-start, 0)
+			}
+			c.rec.Drain(buf)
+		}
 	}
 }
 
@@ -172,6 +252,10 @@ type Shard struct {
 	// destination drains it at the barrier.
 	outbox [][]crossEvent
 	outSeq uint64
+
+	// prevExec is the engine's executed count at the last window
+	// barrier, maintained serially by observeWindow for the idle metric.
+	prevExec uint64
 }
 
 // crossEvent is one mailbox entry. (at, src, seq) is a total order: seq is
@@ -234,6 +318,8 @@ func (d *Shard) deliver() {
 	if len(in) == 0 {
 		return
 	}
+	mCrossEvents.Add(uint64(len(in)))
+	mMailboxMax.Observe(int64(len(in)))
 	sort.Slice(in, func(i, j int) bool {
 		if in[i].at != in[j].at {
 			return in[i].at < in[j].at

@@ -16,6 +16,19 @@ package sim
 import (
 	"math/rand"
 	"time"
+
+	"pbecc/internal/obs"
+)
+
+// Engine metrics: registered once, no-op and allocation-free while the
+// obs layer is disabled (the schedule/run hot path pays one atomic flag
+// load per site).
+var (
+	mSched   = obs.NewCounter("sim.events_scheduled")
+	mCancel  = obs.NewCounter("sim.events_cancelled")
+	mReuse   = obs.NewCounter("sim.event_pool_reuse")
+	mSweeps  = obs.NewCounter("sim.heap_sweeps")
+	mHeapMax = obs.NewWatermark("sim.heap_len_max")
 )
 
 // event is the engine-internal representation of a scheduled callback.
@@ -62,6 +75,7 @@ func (h *Event) Cancel() {
 	}
 	ev.cancelled = true
 	ev.fn = nil
+	mCancel.Inc()
 	if ev.index >= 0 {
 		ev.eng.dead++
 		ev.eng.maybeSweep()
@@ -83,13 +97,20 @@ func (h Event) At() time.Duration {
 // Engine is a discrete-event simulator with a virtual clock.
 // The zero value is not usable; construct with New.
 type Engine struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
-	free    []*event
-	dead    int // cancelled events still occupying heap slots
+	now      time.Duration
+	queue    eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	stopped  bool
+	free     []*event
+	dead     int    // cancelled events still occupying heap slots
+	executed uint64 // events run since construction
+
+	// obsBuf, when non-nil, is the shard-local trace ring instrumented
+	// subsystems (cc senders, the PBE probe) emit virtual-time trace
+	// events into. Set by the cluster when a run is traced; nil costs
+	// one pointer load at each emission site.
+	obsBuf *obs.Buffer
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -102,6 +123,17 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed returns the number of events the engine has run. The cluster
+// reads it at window barriers to measure per-shard idle fraction.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetObsBuffer attaches (or detaches, with nil) the engine's trace ring.
+func (e *Engine) SetObsBuffer(b *obs.Buffer) { e.obsBuf = b }
+
+// ObsBuffer returns the engine's trace ring, nil when the run is not
+// traced. Emission sites must nil-check.
+func (e *Engine) ObsBuffer() *obs.Buffer { return e.obsBuf }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero. It returns a handle so the caller may cancel the event.
@@ -124,9 +156,12 @@ func (e *Engine) At(t time.Duration, fn func()) Event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		mReuse.Inc()
 	} else {
 		ev = &event{eng: e}
 	}
+	mSched.Inc()
+	mHeapMax.Observe(int64(len(e.queue) + 1))
 	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.queue.push(ev)
 	return Event{ev: ev, gen: ev.gen}
@@ -159,6 +194,7 @@ func (e *Engine) maybeSweep() {
 // is a total order, so any valid heap over the surviving set pops
 // identically.
 func (e *Engine) sweep() {
+	mSweeps.Inc()
 	kept := e.queue[:0]
 	for _, ev := range e.queue {
 		if ev.cancelled {
@@ -210,6 +246,7 @@ func (e *Engine) step() {
 		return
 	}
 	e.now = ev.at
+	e.executed++
 	fn := ev.fn
 	e.release(ev)
 	fn()

@@ -76,6 +76,18 @@ func Diff(base, cur *Result) ([]Delta, error) {
 			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, false))
 			deltas = append(deltas, d)
 		}
+		// Measurement accuracy is tracked for PBE groups: a growing mean
+		// estimation error regresses the scheme's core premise even when
+		// throughput holds.
+		if (bs.PBEErr == nil) != (cs.PBEErr == nil) {
+			return nil, fmt.Errorf("group %s has pbe_err_pct on only one side (regenerate the baseline)", k)
+		}
+		if bs.PBEErr != nil {
+			d := Delta{Group: k, Metric: "pbe_err_pct.mean",
+				Base: bs.PBEErr.Mean, Cur: cs.PBEErr.Mean}
+			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, false))
+			deltas = append(deltas, d)
+		}
 	}
 	for k := range bi {
 		if !seen[k] {

@@ -155,6 +155,11 @@ type Row struct {
 	FrameP95Ms   float64 `json:"frame_p95_ms,omitempty"`
 	FreezeMs     float64 `json:"freeze_ms,omitempty"`
 	LateFramePct float64 `json:"late_frame_pct,omitempty"`
+
+	// PBEErrPct is the measured flow's mean absolute capacity-estimation
+	// error versus the harness's noise-free oracle monitor, in percent
+	// (PBE rows only; see harness.FlowResult.PBEErrPct).
+	PBEErrPct float64 `json:"pbe_err_pct,omitempty"`
 }
 
 // Metric is the distribution of one metric across a summary group's jobs.
@@ -188,6 +193,11 @@ type Summary struct {
 	// Frame holds the frame-level distributions for media groups (nil
 	// for bulk groups).
 	Frame *FrameSummary `json:"frame,omitempty"`
+
+	// PBEErr holds the capacity-estimation-error distribution for PBE
+	// groups (nil for every other scheme). Presence is keyed on the
+	// scheme, not on the data, so it is deterministic across runs.
+	PBEErr *Metric `json:"pbe_err_pct,omitempty"`
 }
 
 // FrameSummary is the frame-level half of a media group's summary.
@@ -214,6 +224,15 @@ type Result struct {
 // goroutines (default GOMAXPROCS). Rows land at their job's index, so the
 // result is identical for any worker count.
 func Run(spec *Spec, workers int) (*Result, error) {
+	return RunProgress(spec, workers, nil)
+}
+
+// RunProgress is Run with a completion callback: progress(done, total) is
+// invoked once per finished job, from worker goroutines but never
+// concurrently (an internal lock serializes calls), with done strictly
+// increasing. Progress reporting observes the sweep and cannot affect
+// it - rows still land at their job's index.
+func RunProgress(spec *Spec, workers int, progress func(done, total int)) (*Result, error) {
 	jobs, err := spec.Jobs()
 	if err != nil {
 		return nil, err
@@ -227,12 +246,20 @@ func Run(spec *Spec, workers int) (*Result, error) {
 	rows := make([]Row, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
 				rows[i] = runJob(spec, jobs[i])
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, len(jobs))
+					mu.Unlock()
+				}
 			}
 		}()
 	}
@@ -275,6 +302,9 @@ func runJob(spec *Spec, j Job) Row {
 		row.FreezeMs = stats.Round2(float64(fr.FreezeTime.Microseconds()) / 1000)
 		row.LateFramePct = stats.Round2(fr.LatePct())
 	}
+	if j.Scheme == "pbe" {
+		row.PBEErrPct = stats.Round2(f.PBEErrPct)
+	}
 	return row
 }
 
@@ -284,6 +314,7 @@ func Summarize(rows []Row) []Summary {
 	type acc struct {
 		tput, p95, util        stats.Series
 		frameP95, freeze, late stats.Series
+		pbeErr                 stats.Series
 		jobs                   int
 		media                  bool
 	}
@@ -316,6 +347,9 @@ func Summarize(rows []Row) []Summary {
 			a.frameP95.Add(r.FrameP95Ms)
 			a.freeze.Add(r.FreezeMs)
 		}
+		if r.Scheme == "pbe" {
+			a.pbeErr.Add(r.PBEErrPct)
+		}
 	}
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
@@ -336,6 +370,10 @@ func Summarize(rows []Row) []Summary {
 				FreezeMs: metricOf(&a.freeze),
 				LatePct:  metricOf(&a.late),
 			}
+		}
+		if s.Scheme == "pbe" {
+			m := metricOf(&a.pbeErr)
+			s.PBEErr = &m
 		}
 		out = append(out, s)
 	}
