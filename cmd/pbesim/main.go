@@ -38,7 +38,10 @@ func main() {
 		}
 	}
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q (have %v)\n", *scheme, harness.Schemes)
+		fmt.Fprintf(os.Stderr, "pbesim: unknown scheme %q\nregistered schemes:\n", *scheme)
+		for _, s := range harness.Schemes {
+			fmt.Fprintf(os.Stderr, "  %s\n", s)
+		}
 		os.Exit(2)
 	}
 
@@ -73,6 +76,8 @@ func main() {
 	fmt.Printf("packets         %d acked, %d lost\n", f.Received, f.Lost)
 	if f.Scheme == "pbe" {
 		fmt.Printf("internet state  %.1f%% of time\n", 100*f.InternetFrac)
+	}
+	if harness.SchemeUsesMonitor(f.Scheme) {
 		fmt.Printf("capacity error  %.1f%% mean abs (vs noise-free oracle)\n", f.PBEErrPct)
 	}
 	fmt.Printf("CA triggered    %v\n", r.CATriggered)

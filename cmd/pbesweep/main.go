@@ -7,7 +7,9 @@
 //	pbesweep -spec sweep.json -workers 8 -out results.json
 //	pbesweep -smoke -out BENCH_PR.json          # built-in CI smoke matrix
 //	pbesweep -metro-smoke -shards 4 -out m.json # city-scale sharded slice
+//	pbesweep -scorecard -out scorecard.json     # robustness ranking under faults
 //	pbesweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json
+//	pbesweep -scorecard-diff BENCH_scorecard_baseline.json scorecard.json
 //	pbesweep -benchdiff base_bench.txt cur_bench.txt  # go test -bench gate
 //	pbesweep -list                              # families, schemes, axes
 //
@@ -25,10 +27,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	"pbecc/internal/faults"
 	"pbecc/internal/harness"
 	"pbecc/internal/obs"
 	"pbecc/internal/sweep"
@@ -38,11 +42,13 @@ func main() {
 	specPath := flag.String("spec", "", "sweep spec JSON file")
 	smoke := flag.Bool("smoke", false, "run the built-in CI smoke matrix")
 	metroSmoke := flag.Bool("metro-smoke", false, "run the built-in city-scale metro smoke slice")
+	scorecard := flag.Bool("scorecard", false, "run the built-in robustness scorecard (schemes x fault axes) and write the ranked result; a spec with fault_axes can substitute via -spec")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "parallel shard width inside sharded jobs (0 = serial); never changes results")
 	out := flag.String("out", "-", "result file ('-' = stdout)")
 	obsOn := flag.Bool("obs", false, "enable the metrics registry and write a snapshot to <out>.obs.json (stderr when -out is '-'); never changes the result")
 	diff := flag.Bool("diff", false, "diff two result files: pbesweep -diff [-max-regress N] base.json cur.json")
+	scorecardDiff := flag.Bool("scorecard-diff", false, "diff two scorecard files: pbesweep -scorecard-diff [-max-regress N] base.json cur.json (robustness budget in percentage points)")
 	maxRegress := flag.Float64("max-regress", 10, "with -diff/-benchdiff: fail when any tracked metric (for -benchdiff: B/op, allocs/op) regresses more than this percentage")
 	benchDiff := flag.Bool("benchdiff", false, "diff two 'go test -bench -benchmem' output files: pbesweep -benchdiff [-max-regress N] [-max-regress-ns N] [-allow-missing] base.txt cur.txt")
 	maxRegressNs := flag.Float64("max-regress-ns", -1, "with -benchdiff: ns/op regression budget in percent; negative disables the ns/op gate (the default: wall-clock is only comparable between runs on the same machine)")
@@ -56,6 +62,8 @@ func main() {
 		listAxes()
 	case *diff:
 		runDiff(flag.Args(), *maxRegress)
+	case *scorecardDiff:
+		runScorecardDiff(flag.Args(), *maxRegress)
 	case *benchDiff:
 		runBenchDiff(flag.Args(), *maxRegressNs, *maxRegress, *allowMissing)
 	default:
@@ -63,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runSweep(*specPath, *smoke, *metroSmoke, *workers, *shards, *out, *obsOn)
+		runSweep(*specPath, *smoke, *metroSmoke, *scorecard, *workers, *shards, *out, *obsOn)
 		if err := stopProf(); err != nil {
 			fatal(err)
 		}
@@ -77,10 +85,11 @@ func listAxes() {
 	}
 	fmt.Printf("schemes: %v\n", harness.Schemes)
 	fmt.Println("other axes: seeds, rats, cell_counts, noise_levels, busy, duration_ms")
+	fmt.Printf("fault axes (spec \"fault_axes\" + \"fault_levels\", see -scorecard): %v\n", faults.Axes())
 	fmt.Println("flags, not axes: -workers (job pool), -shards (intra-job width); neither changes results")
 }
 
-func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out string, obsOn bool) {
+func runSweep(specPath string, smoke, metroSmoke, scorecard bool, workers, shards int, out string, obsOn bool) {
 	var spec *sweep.Spec
 	exclusive := 0
 	for _, on := range []bool{smoke, metroSmoke, specPath != ""} {
@@ -91,10 +100,14 @@ func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out 
 	switch {
 	case exclusive > 1:
 		fatal(fmt.Errorf("-smoke, -metro-smoke and -spec are mutually exclusive"))
+	case scorecard && (smoke || metroSmoke):
+		fatal(fmt.Errorf("-scorecard cannot combine with -smoke/-metro-smoke (it has its own built-in matrix)"))
 	case smoke:
 		spec = sweep.Smoke()
 	case metroSmoke:
 		spec = sweep.MetroSmoke()
+	case scorecard && specPath == "":
+		spec = sweep.ScorecardSpec()
 	case specPath != "":
 		data, err := os.ReadFile(specPath)
 		if err != nil {
@@ -131,16 +144,29 @@ func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out 
 			fatal(err)
 		}
 	}
+	write := func(w io.Writer) error { return sweep.WriteResult(w, res) }
+	if scorecard {
+		card, err := sweep.BuildScorecard(res)
+		if err != nil {
+			fatal(err)
+		}
+		sweep.FprintScorecard(os.Stderr, card)
+		write = func(w io.Writer) error { return sweep.WriteScorecard(w, card) }
+	}
 	if out == "-" {
-		if err := sweep.WriteResult(os.Stdout, res); err != nil {
+		if err := write(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	// Write atomically (temp file + rename) so an interrupted run cannot
-	// leave a truncated baseline behind for CI to diff against. fatal()
-	// exits without running defers, so error paths clean the temp file
-	// up explicitly.
+	writeAtomic(out, write)
+}
+
+// writeAtomic writes via temp file + rename so an interrupted run cannot
+// leave a truncated baseline behind for CI to diff against. fatal()
+// exits without running defers, so error paths clean the temp file up
+// explicitly.
+func writeAtomic(out string, write func(io.Writer) error) {
 	tmp, err := os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp*")
 	if err != nil {
 		fatal(err)
@@ -150,7 +176,7 @@ func runSweep(specPath string, smoke, metroSmoke bool, workers, shards int, out 
 		os.Remove(tmp.Name())
 		fatal(err)
 	}
-	if err := sweep.WriteResult(tmp, res); err != nil {
+	if err := write(tmp); err != nil {
 		fail(err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -194,6 +220,34 @@ func writeSnapshot(out string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runScorecardDiff gates a fresh scorecard against the committed
+// baseline. The budget is in percentage points of mean degradation for
+// robustness_pct (the metric is already a percentage, so a relative
+// budget would blow up near zero) and in percent for clean throughput.
+func runScorecardDiff(args []string, maxRegress float64) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-scorecard-diff needs exactly two scorecard files, got %d", len(args)))
+	}
+	base, err := sweep.ReadScorecard(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := sweep.ReadScorecard(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	deltas, err := sweep.DiffScorecard(base, cur)
+	if err != nil {
+		fatal(err)
+	}
+	sweep.FprintDeltas(os.Stdout, deltas)
+	if worst := sweep.WorstRegression(deltas); worst > maxRegress {
+		fmt.Fprintf(os.Stderr, "FAIL: worst scorecard regression %.2f exceeds the %.2f budget\n",
+			worst, maxRegress)
+		os.Exit(1)
+	}
 }
 
 func runDiff(args []string, maxRegress float64) {

@@ -10,6 +10,11 @@
 //	pbetrace -family steady -scheme pbe -out trace.json
 //	pbetrace -family metro -scheme pbe -cells 8 -duration 500ms -shards 4 -out metro.json
 //	pbetrace -family rtc -scheme gcc -seed 3 -out rtc.json
+//	pbetrace -family rtc -scheme pbertc -fault-stale 1 -fault-handover 0.5 -out faulted.json
+//
+// The -fault-* flags drive the deterministic measurement-fault injector
+// (internal/faults); each injection lands on the trace as an instant in
+// the "faults" category, aligned with the cc decision tracks.
 //
 // Tracing observes the run without changing it: the scenario's results
 // are byte-identical with the recorder on or off, for any -shards value.
@@ -32,12 +37,18 @@ func main() {
 	dur := flag.Duration("duration", 0, "simulated duration (0 = family default)")
 	noise := flag.Float64("noise", 0, "capacity measurement noise std fraction")
 	shards := flag.Int("shards", 0, "parallel shard width (0 = serial); never changes results")
+	fStale := flag.Float64("fault-stale", 0, "stale PDCCH decode fault intensity in [0, 1]")
+	fMiss := flag.Float64("fault-miss", 0, "missed cell-detection fault intensity in [0, 1]")
+	fHandover := flag.Float64("fault-handover", 0, "handover-storm fault intensity in [0, 1]")
+	fOnOff := flag.Float64("fault-onoff", 0, "adversarial on-off competitor intensity in [0, 1]")
 	out := flag.String("out", "-", "trace file ('-' = stdout)")
 	flag.Parse()
 
 	sc, err := harness.BuildScenario(*family, *scheme, harness.Params{
 		Seed: *seed, Duration: *dur, Cells: *cells, RAT: *rat,
 		CapacityNoise: *noise, Shards: *shards,
+		FaultStale: *fStale, FaultMiss: *fMiss,
+		FaultHandover: *fHandover, FaultOnOff: *fOnOff,
 	})
 	if err != nil {
 		fatal(err)

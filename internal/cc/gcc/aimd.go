@@ -25,6 +25,12 @@ const (
 	// MinRate and MaxRate clamp the estimate.
 	MinRate = 100e3
 	MaxRate = 2e9
+
+	// seedHeadroomFrac splits conservative mode's two slopes: below this
+	// fraction of the externally seeded capacity the region may still
+	// ramp multiplicatively (the measurement says the headroom is ours);
+	// above it only the additive near-max creep remains.
+	seedHeadroomFrac = 0.85
 )
 
 // rateWindow measures the incoming throughput over a sliding window, the
@@ -131,6 +137,18 @@ func (lc *linkCapacity) nearMax(tputBps float64) bool {
 // estimate's plausible band, e.g. after a handover).
 func (lc *linkCapacity) reset() { lc.has = false }
 
+// seed installs an externally measured estimate without waiting for an
+// overuse backoff. The first seed starts at the onOveruse default
+// variance; later seeds keep the learned variance so the near-max band
+// stays calibrated to how stable the measurement actually is.
+func (lc *linkCapacity) seed(bps float64) {
+	if !lc.has {
+		lc.variance = 0.4
+		lc.has = true
+	}
+	lc.estimate = bps
+}
+
 type rcState int
 
 const (
@@ -149,6 +167,13 @@ type aimd struct {
 	capacity   linkCapacity
 	rtt        time.Duration
 	decreased  bool // true once the first overuse has been handled
+
+	// Region-control hooks for hybrid controllers (REMB.SetRegionCeiling,
+	// SetConservative): an external measurement source - in this repo the
+	// PBE physical-layer monitor - can bound the rate region and disable
+	// the blind startup probe when it already knows where capacity is.
+	ceiling      float64 // > 0: upper bound on the rate region, bits/sec
+	conservative bool    // suppress the pre-first-overuse exponential ramp
 }
 
 func newAIMD(startRate float64) *aimd {
@@ -181,12 +206,24 @@ func (a *aimd) update(now time.Duration, sig usage, tputBps float64) float64 {
 	case rcDecrease:
 		a.decrease(now, tputBps)
 	}
+	// The external ceiling binds in every state, not just increase: when
+	// the measured capacity drops (handover, blockage) the region must
+	// come down now, not after the queue has built enough for an overuse.
+	if a.ceiling > 0 && a.rate > a.ceiling {
+		a.rate = a.ceiling
+		a.clamp()
+	}
 	return a.rate
 }
 
 func (a *aimd) increase(now time.Duration, tputBps float64) {
-	if tputBps > 0 && a.capacity.has && tputBps > a.capacity.estimate+3*a.capacity.std() {
+	if tputBps > 0 && a.capacity.has && tputBps > a.capacity.estimate+3*a.capacity.std() &&
+		!a.conservative {
 		// Throughput left the estimate's band upward: the link changed.
+		// Not in conservative mode - there the estimate is an external
+		// measurement re-seeded continuously, and throughput running past
+		// it (another flow's traffic on the shared cell) says nothing
+		// about our entitlement.
 		a.capacity.reset()
 	}
 	dt := (now - a.lastChange).Seconds()
@@ -197,16 +234,32 @@ func (a *aimd) increase(now time.Duration, tputBps float64) {
 		dt = 1
 	}
 	switch {
-	case !a.decreased:
+	case a.conservative && a.capacity.has:
+		// Conservative mode (hybrid controllers, shared cell): the
+		// externally seeded estimate is a stopline, not a hint. Below it
+		// the measurement says the headroom is ours, so ramp at startup
+		// speed (until the first overuse) or the steady multiplicative
+		// slope; at it, creep additively instead of probing past it into
+		// the competitors' queue.
+		if a.rate < seedHeadroomFrac*a.capacity.estimate {
+			if !a.decreased {
+				a.rate *= math.Pow(startupEtaPerSecond, dt)
+			} else {
+				a.rate *= math.Pow(etaPerSecond, dt)
+			}
+		} else {
+			a.additiveIncrease(dt)
+		}
+	case !a.decreased && !a.conservative:
 		// Startup: exponential probe toward the first overuse.
 		a.rate *= math.Pow(startupEtaPerSecond, dt)
-	case a.capacity.has && a.capacity.nearMax(tputBps):
-		// Near capacity: about one average packet per response time.
-		inc := a.nearMaxIncreaseBpsPerSecond() * dt
-		if inc < minIncreaseBps*dt {
-			inc = minIncreaseBps * dt
-		}
-		a.rate += inc
+	case a.capacity.has && a.capacity.nearMax(tputBps) &&
+		a.rate > a.capacity.estimate-3*a.capacity.std():
+		// Near capacity - both the measured throughput and the region
+		// itself (a region far below the estimate must keep growing
+		// multiplicatively, not creep): about one average packet per
+		// response time.
+		a.additiveIncrease(dt)
 	default:
 		a.rate *= math.Pow(etaPerSecond, dt)
 	}
@@ -221,6 +274,15 @@ func (a *aimd) increase(now time.Duration, tputBps float64) {
 	}
 	a.clamp()
 	a.lastChange = now
+}
+
+// additiveIncrease applies the near-max additive slope for dt seconds.
+func (a *aimd) additiveIncrease(dt float64) {
+	inc := a.nearMaxIncreaseBpsPerSecond() * dt
+	if inc < minIncreaseBps*dt {
+		inc = minIncreaseBps * dt
+	}
+	a.rate += inc
 }
 
 // nearMaxIncreaseBpsPerSecond is the additive slope: one average packet
@@ -244,12 +306,16 @@ func (a *aimd) decrease(now time.Duration, tputBps float64) {
 	target := beta * tputBps
 	if target < a.rate {
 		a.rate = target
+		// Only an overuse that actually moved the rate counts as the
+		// first backoff: if the throughput is far above the region the
+		// congestion is not of our making, and the startup ramp must
+		// stay armed to find the real capacity.
+		a.decreased = true
 	}
 	if a.capacity.has && tputBps < a.capacity.estimate-3*a.capacity.std() {
 		a.capacity.reset()
 	}
 	a.capacity.onOveruse(tputBps)
-	a.decreased = true
 	a.clamp()
 	a.state = rcHold
 	a.lastChange = now

@@ -67,3 +67,44 @@ func (r *REMB) Observe(now, owd time.Duration, bytes int) float64 {
 func (r *REMB) Feedback(now time.Duration, owd time.Duration, dataBytes int) (float64, bool) {
 	return r.Observe(now, owd, dataBytes), false
 }
+
+// Region-control hooks: a hybrid controller with an out-of-band capacity
+// measurement (internal/cc/pbertc fusing the PBE physical-layer monitor)
+// steers the AIMD region through these instead of reimplementing the
+// arrival filter and detector. All three are cleared/neutral by default,
+// leaving plain GCC behavior.
+
+// SeedLinkCapacity installs an external link-capacity measurement in
+// bits per second, as if an overuse backoff had already measured the
+// link: the increase region switches from multiplicative probing to the
+// additive near-max slope as the throughput approaches it. Non-positive
+// values are ignored.
+func (r *REMB) SeedLinkCapacity(bps float64) {
+	if bps > 0 {
+		r.aimd.capacity.seed(bps)
+	}
+}
+
+// SetRegionCeiling caps the AIMD rate region at bps in every state (0
+// removes the cap). Unlike the loss or delay signals the cap acts
+// immediately, so a measured capacity drop pulls the rate down before
+// any queue builds.
+func (r *REMB) SetRegionCeiling(bps float64) { r.aimd.ceiling = bps }
+
+// RestartProbe re-arms the pre-first-overuse startup ramp and forgets
+// the capacity estimate. A hybrid controller calls it when the
+// bottleneck regime flips (cellular link <-> Internet): the estimator
+// is on what is effectively a new link and must re-find its capacity at
+// startup speed, not creep at the old regime's operating point.
+func (r *REMB) RestartProbe() {
+	r.aimd.decreased = false
+	r.aimd.capacity.reset()
+}
+
+// SetConservative toggles the conservative increase mode: the
+// pre-first-overuse exponential startup ramp is suppressed, so the
+// region grows at the steady-state multiplicative (or near-max additive)
+// slope only. Hybrid controllers enable it when the physical layer shows
+// competing users sharing the cell - blasting a startup probe into a
+// shared cell costs everyone's latency.
+func (r *REMB) SetConservative(on bool) { r.aimd.conservative = on }

@@ -1,0 +1,138 @@
+// Package pbertc implements the PBE-RTC hybrid controller, registered as
+// scheme "pbertc": GCC's delay-based machinery (arrival groups, trendline
+// overuse detector, AIMD region) with the rate region driven by PBE-CC's
+// physical-layer measurements when the cellular link is the bottleneck.
+//
+// The fusion rules, per packet at the receiver:
+//
+//   - The PBE internet-bottleneck detector (§4.2.2, Eqn 6) decides which
+//     regime governs. In the Internet-bottleneck state the physical-layer
+//     numbers describe a link that is not the constraint, so every hook is
+//     cleared and the estimator degrades to plain delay-based GCC.
+//   - In the wireless-bottleneck state the monitor's available capacity
+//     C_t seeds the AIMD linkCapacity estimate - the region switches to
+//     the additive near-max slope as throughput approaches measured
+//     capacity instead of probing past it into the queue - and
+//     max(C_t, C_f) caps the region outright, so a capacity drop
+//     (handover, blockage) pulls the rate down before any queue builds.
+//   - The filtered competing-user count (§4.2.1) selects the increase
+//     mode: a sole occupant may run GCC's exponential startup ramp toward
+//     the measured headroom; with competitors on the cell the ramp is
+//     suppressed and the region grows at the conservative slopes only.
+//
+// The sender side is unchanged GCC (loss ceiling bounded by REMB): all
+// fusion happens where the physical-layer monitor lives, and the fused
+// estimate rides to the sender in the ordinary feedback word.
+package pbertc
+
+import (
+	"time"
+
+	"pbecc/internal/cc"
+	"pbecc/internal/cc/gcc"
+	"pbecc/internal/core"
+	"pbecc/internal/netsim"
+	"pbecc/internal/obs"
+)
+
+var (
+	mFused    = obs.NewCounter("pbertc.fused_packets")
+	mFallback = obs.NewCounter("pbertc.fallback_packets")
+	mConserve = obs.NewCounter("pbertc.conservative_packets")
+)
+
+// Controller is the sender side: plain GCC under the scheme name
+// "pbertc". Create with New and attach a NewFeedback as the flow's
+// receiver-side feedback source; without one it degrades exactly as GCC
+// does (loss ceiling bounded by measured delivery rate).
+type Controller struct {
+	*gcc.GCC
+}
+
+// New returns the sender-side controller.
+func New() *Controller { return &Controller{GCC: gcc.New()} }
+
+// Name implements cc.Controller.
+func (c *Controller) Name() string { return "pbertc" }
+
+// Feedback is the receiver side of the hybrid: a GCC REMB estimator
+// whose region is steered by the PBE monitor through the gcc
+// region-control hooks. It implements cc.FeedbackSource.
+type Feedback struct {
+	mon  *core.Monitor
+	det  *core.Detector
+	remb *gcc.REMB
+
+	wasInternet bool
+}
+
+var _ cc.FeedbackSource = (*Feedback)(nil)
+
+// NewFeedback wires the hybrid estimator around a physical-layer
+// monitor. A nil monitor is legal and leaves a plain GCC estimator (the
+// conformance suite runs without a cellular path).
+func NewFeedback(mon *core.Monitor) *Feedback {
+	return &Feedback{mon: mon, det: core.NewDetector(), remb: gcc.NewREMB()}
+}
+
+// REMB exposes the underlying estimator (tests and instrumentation).
+func (f *Feedback) REMB() *gcc.REMB { return f.remb }
+
+// InternetBottleneck reports the detector's current state.
+func (f *Feedback) InternetBottleneck() bool { return f.det.InternetBottleneck() }
+
+// Feedback implements cc.FeedbackSource: fold one received data packet
+// into the estimator and return (rate, internet-bottleneck bit).
+func (f *Feedback) Feedback(now, owd time.Duration, dataBytes int) (float64, bool) {
+	var ct, cf float64
+	if f.mon != nil {
+		ct = f.mon.CapacityBits() // bits per subframe
+		cf = f.mon.FairShareBits()
+	}
+	npkt := int(core.NpktSubframes * ct / (8 * netsim.MSS))
+	internet := f.det.Observe(now, owd, npkt)
+	if internet != f.wasInternet {
+		// Regime flip: the estimator is on what is effectively a new
+		// link, so it may re-probe at startup speed instead of crawling
+		// up from the old regime's operating point.
+		f.remb.RestartProbe()
+		f.wasInternet = internet
+	}
+
+	if internet || ct <= 0 {
+		// The cellular link is not the bottleneck (or the monitor has no
+		// signal yet): clear every hook and run pure delay-based GCC.
+		f.remb.SetRegionCeiling(0)
+		f.remb.SetConservative(false)
+		mFallback.Inc()
+		return f.remb.Observe(now, owd, dataBytes), internet
+	}
+
+	// Wireless bottleneck: drive the region from the physical layer. The
+	// entitled rate is max(C_t, C_f), as in the PBE client's own wireless
+	// feedback (§4.1): C_f alone would forfeit idle PRBs the scheduler is
+	// already granting us, C_t alone can settle below the fair share
+	// against an always-backlogged competitor. It both seeds the capacity
+	// estimate and caps the region, so the AIMD ramps toward the measured
+	// entitlement and stops there instead of probing into the queue.
+	entitled := ct
+	if cf > entitled {
+		entitled = cf
+	}
+	bps := core.BitsPerSubframeToBps(entitled)
+	f.remb.SeedLinkCapacity(bps)
+	f.remb.SetRegionCeiling(bps)
+	shared := false
+	for _, id := range f.mon.ActiveCellIDs() {
+		if f.mon.ActiveUsers(id) > 1 {
+			shared = true
+			break
+		}
+	}
+	f.remb.SetConservative(shared)
+	if shared {
+		mConserve.Inc()
+	}
+	mFused.Inc()
+	return f.remb.Observe(now, owd, dataBytes), false
+}

@@ -14,11 +14,13 @@ import (
 	"pbecc/internal/cc/copa"
 	"pbecc/internal/cc/cubic"
 	"pbecc/internal/cc/gcc"
+	"pbecc/internal/cc/pbertc"
 	"pbecc/internal/cc/pcc"
 	"pbecc/internal/cc/sprout"
 	"pbecc/internal/cc/verus"
 	"pbecc/internal/cc/vivace"
 	"pbecc/internal/core"
+	"pbecc/internal/faults"
 	"pbecc/internal/lte"
 	"pbecc/internal/netsim"
 	"pbecc/internal/nr"
@@ -32,14 +34,14 @@ import (
 
 // Schemes lists every congestion-control algorithm under test: the
 // paper's order (§6.1) plus the GCC/REMB real-time baseline added with
-// the rtc subsystem.
-var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace", "gcc"}
+// the rtc subsystem and the pbertc physical-layer/GCC hybrid.
+var Schemes = []string{"pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace", "gcc", "pbertc"}
 
 // SchemeUsesMonitor reports whether a scheme consumes the PBE monitor's
 // physical-layer capacity feed. Only these schemes react to the
-// measurement-noise axis; for the rest, noisy jobs would duplicate the
-// noise-free run exactly.
-func SchemeUsesMonitor(scheme string) bool { return scheme == "pbe" }
+// measurement-noise and monitor-fault axes; for the rest, faulted jobs
+// would duplicate the clean run exactly.
+func SchemeUsesMonitor(scheme string) bool { return scheme == "pbe" || scheme == "pbertc" }
 
 // CellSpec describes one LTE component carrier.
 type CellSpec struct {
@@ -178,6 +180,12 @@ type Scenario struct {
 	// barriers and exported through Result.Trace as Chrome trace-event
 	// JSON. Tracing changes what is observed, never what happens.
 	Trace bool
+
+	// Faults selects the structured measurement-fault axes injected
+	// between the cells and each monitor-using flow's PBE monitor (see
+	// internal/faults). The zero value is the clean channel; the OnOff
+	// axis is assembled at scenario-build time (Params.apply), not here.
+	Faults faults.Spec
 }
 
 // SFUSpec configures the fan-out relay and its ingest leg.
@@ -397,7 +405,7 @@ func Run(sc *Scenario) *Result {
 	probes := map[int]*pbeProbe{}
 	clientGroups := map[int]*clientGroup{}
 	for _, fs := range sc.Flows {
-		if fs.Scheme != "pbe" {
+		if !SchemeUsesMonitor(fs.Scheme) {
 			continue
 		}
 		us := spec(fs.UE)
@@ -419,23 +427,55 @@ func Run(sc *Scenario) *Result {
 		probes[fs.UE] = probe
 		clientGroups[fs.UE] = &clientGroup{}
 
+		// Monitor-fault axes interpose an injector on every attach,
+		// detach and control feed. The probe's oracle stays on the
+		// direct path: it is the fault-free reference PBEErrPct is
+		// measured against. With no axes active the injector is never
+		// constructed and the clean path is byte-identical to before.
+		var inj *faults.Injector
+		if sc.Faults.MonitorAxes() {
+			inj = faults.New(pl.ueShard(us).Engine, mon, sc.Faults, sc.Seed, us.RNTI)
+		}
+		attach := func(info core.CellInfo) {
+			if inj != nil {
+				inj.AttachCell(info)
+			} else {
+				mon.AttachCell(info)
+			}
+			probe.oracle.AttachCell(info)
+		}
+		detach := func(id int) {
+			if inj != nil {
+				inj.DetachCell(id)
+			} else {
+				mon.DetachCell(id)
+			}
+			probe.oracle.DetachCell(id)
+		}
+		wrap := func(m lte.Monitor) lte.Monitor {
+			if inj != nil {
+				return inj.WrapFeed(m)
+			}
+			return m
+		}
+
 		// attachNR registers one NR carrier with its slot clock.
 		attachNR := func(cid int) {
 			cell := nrCells[cid]
 			ch := channels[[2]int{fs.UE, cid}]
-			info := core.CellInfo{
+			attach(core.CellInfo{
 				ID:               cell.ID,
 				NPRB:             cell.NPRB,
 				SlotsPerSubframe: cell.SlotsPerSubframe(),
 				CBGBits:          nr.CodeBlockBits,
 				Rate:             func() float64 { return ch.MCS().BitsPerPRB() },
 				BER:              func() float64 { return ch.BER() },
-			}
-			mon.AttachCell(info)
-			probe.oracle.AttachCell(info)
+			})
 		}
 		// attachLTE tracks the anchor's active LTE carrier set, preserving
-		// any NR cells already attached to the monitor.
+		// any NR cells already attached to the monitor. The oracle's cell
+		// set is the source of truth for "already attached": under the
+		// Miss axis the monitor itself lags the desired set.
 		attachLTE := func(active []*lte.Cell) {
 			activeSet := map[int]bool{}
 			for _, cid := range us.NRCellIDs {
@@ -444,27 +484,24 @@ func Run(sc *Scenario) *Result {
 			for _, c := range active {
 				activeSet[c.ID] = true
 				already := false
-				for _, id := range mon.ActiveCellIDs() {
+				for _, id := range probe.oracle.ActiveCellIDs() {
 					if id == c.ID {
 						already = true
 					}
 				}
 				if !already {
 					ch := channels[[2]int{fs.UE, c.ID}]
-					info := core.CellInfo{
+					attach(core.CellInfo{
 						ID:   c.ID,
 						NPRB: c.NPRB,
 						Rate: func() float64 { return ch.MCS().BitsPerPRB() },
 						BER:  func() float64 { return ch.BER() },
-					}
-					mon.AttachCell(info)
-					probe.oracle.AttachCell(info)
+					})
 				}
 			}
-			for _, id := range append([]int(nil), mon.ActiveCellIDs()...) {
+			for _, id := range append([]int(nil), probe.oracle.ActiveCellIDs()...) {
 				if !activeSet[id] {
-					mon.DetachCell(id)
-					probe.oracle.DetachCell(id)
+					detach(id)
 				}
 			}
 		}
@@ -482,8 +519,7 @@ func Run(sc *Scenario) *Result {
 				if active {
 					attachNR(nrID)
 				} else {
-					mon.DetachCell(nrID)
-					probe.oracle.DetachCell(nrID)
+					detach(nrID)
 				}
 			})
 		case *nr.UE:
@@ -492,14 +528,14 @@ func Run(sc *Scenario) *Result {
 			}
 		}
 		for _, cid := range us.CellIDs {
-			cells[cid].AttachMonitor(monitorFeed(sc, cells[cid], mon))
+			cells[cid].AttachMonitor(wrap(monitorFeed(sc, cells[cid], mon)))
 			cells[cid].AttachMonitor(probe.oracle.OnSubframe)
 		}
 		for _, cid := range us.NRCellIDs {
 			// NR control information feeds the monitor directly; the
 			// bit-level PDCCH encode/decode path models the LTE control
 			// channel only.
-			nrCells[cid].AttachMonitor(mon.OnSubframe)
+			nrCells[cid].AttachMonitor(wrap(mon.OnSubframe))
 			nrCells[cid].AttachMonitor(probe.oracle.OnSubframe)
 		}
 		// The accuracy sampler runs once per primary-cell slot, attached
@@ -649,6 +685,8 @@ func Run(sc *Scenario) *Result {
 		}
 		if fr.pbe != nil {
 			fr.InternetFrac = fr.pbe.InternetFraction()
+		}
+		if SchemeUsesMonitor(fr.Scheme) {
 			if pr := probes[sc.Flows[i].UE]; pr != nil {
 				fr.PBEErrPct = pr.ErrPct()
 			}
@@ -773,6 +811,8 @@ func flowFeedback(fs *FlowSpec, fr *FlowResult, monitors map[int]*core.Monitor, 
 		return &sharedFeedback{c: client, grp: grp}
 	case "gcc":
 		return gcc.NewREMB()
+	case "pbertc":
+		return pbertc.NewFeedback(monitors[fs.UE])
 	}
 	return nil
 }
@@ -784,6 +824,8 @@ func newController(name string) cc.Controller {
 		return core.NewSender()
 	case "gcc":
 		return gcc.New()
+	case "pbertc":
+		return pbertc.New()
 	case "bbr":
 		return bbr.New()
 	case "cubic":

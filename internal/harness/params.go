@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pbecc/internal/faults"
 	"pbecc/internal/lte"
 	"pbecc/internal/phy"
 	"pbecc/internal/trace"
@@ -26,10 +27,38 @@ type Params struct {
 	// feedback.
 	CapacityNoise float64
 
+	// Fault axes (internal/faults), each an intensity in [0, 1]: the
+	// structured measurement-fault counterpart to CapacityNoise's white
+	// error. Stale/Miss/Handover perturb what monitor-using schemes
+	// observe; OnOff adds an adversarial square-wave competitor every
+	// scheme contends with.
+	FaultStale    float64
+	FaultMiss     float64
+	FaultHandover float64
+	FaultOnOff    float64
+
 	// Shards bounds how many shards of a sharded scenario advance
 	// concurrently (0 = family default, which is serial). Results are
 	// byte-identical for any value; only wall-clock time changes.
 	Shards int
+}
+
+// faultSpec collects the fault knobs into the faults vocabulary.
+func (p Params) faultSpec() faults.Spec {
+	return faults.Spec{Stale: p.FaultStale, Miss: p.FaultMiss,
+		Handover: p.FaultHandover, OnOff: p.FaultOnOff}
+}
+
+// SetFaultAxis assigns one named fault axis: the sweep's string-keyed
+// interface over the Fault* fields.
+func (p *Params) SetFaultAxis(axis string, level float64) error {
+	s := p.faultSpec()
+	if err := s.Set(axis, level); err != nil {
+		return err
+	}
+	p.FaultStale, p.FaultMiss, p.FaultHandover, p.FaultOnOff =
+		s.Stale, s.Miss, s.Handover, s.OnOff
+	return nil
 }
 
 // RATLTE and RATNR name the radio-access-technology axis values.
@@ -82,6 +111,9 @@ func (p Params) Validate() error {
 	if p.Shards < 0 {
 		return fmt.Errorf("negative shard count %d", p.Shards)
 	}
+	if err := p.faultSpec().Validate(); err != nil {
+		return err
+	}
 	switch p.RAT {
 	case "", RATLTE, RATNR:
 	default:
@@ -102,7 +134,70 @@ func (p Params) apply(sc *Scenario) *Scenario {
 	if p.Shards > 0 {
 		sc.Shards = p.Shards
 	}
+	if fspec := p.faultSpec(); fspec.Any() {
+		sc.Faults = fspec
+		if fspec.OnOff > 0 {
+			addOnOffCompetitor(sc, fspec.OnOff)
+		}
+	}
 	return sc
+}
+
+// addOnOffCompetitor stands up the OnOff fault axis: a square-wave
+// fixed-rate flow on the measured UE's primary cell whose half-period
+// equals the monitor's smoothing window - the adversarial cadence for a
+// windowed estimator, and a bursty competitor for every other scheme.
+func addOnOffCompetitor(sc *Scenario, level float64) {
+	var target *UESpec
+	for _, fs := range sc.Flows {
+		if fs.Scheme == "fixed" {
+			continue
+		}
+		for i := range sc.UEs {
+			if sc.UEs[i].ID == fs.UE {
+				target = &sc.UEs[i]
+			}
+		}
+		break
+	}
+	if target == nil {
+		return
+	}
+	maxUE, maxRNTI, maxFlow := 0, uint16(0), 0
+	for i := range sc.UEs {
+		if sc.UEs[i].ID > maxUE {
+			maxUE = sc.UEs[i].ID
+		}
+		if sc.UEs[i].RNTI > maxRNTI {
+			maxRNTI = sc.UEs[i].RNTI
+		}
+	}
+	for i := range sc.Flows {
+		if sc.Flows[i].ID > maxFlow {
+			maxFlow = sc.Flows[i].ID
+		}
+	}
+	rssi := target.RSSI
+	if rssi == 0 {
+		rssi = -90 // target rides a trajectory: give the adversary a plain cell-center signal
+	}
+	adv := UESpec{ID: maxUE + 1, RNTI: maxRNTI + 1, RSSI: rssi, NRRSSI: target.NRRSSI}
+	// Peak rate scaled by intensity: enough to claim most of the cell
+	// during an on-phase (the §6.3.3 competitor's regime), per RAT.
+	rate := level * 80e6
+	if len(target.CellIDs) > 0 {
+		adv.CellIDs = []int{target.CellIDs[0]}
+	} else {
+		adv.NRCellIDs = []int{target.NRCellIDs[0]}
+		rate = level * 400e6
+	}
+	sc.UEs = append(sc.UEs, adv)
+	sc.Flows = append(sc.Flows, FlowSpec{
+		ID: maxFlow + 1, UE: adv.ID, Scheme: "fixed", FixedRate: rate,
+		Start:    faults.OnOffHalfPeriod,
+		OnPeriod: faults.OnOffHalfPeriod, OffPeriod: faults.OnOffHalfPeriod,
+	})
+	faults.CountOnOffFlow()
 }
 
 // controlFor returns the cell's control-plane source for the Busy knob:

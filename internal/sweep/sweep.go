@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"pbecc/internal/faults"
 	"pbecc/internal/harness"
 	"pbecc/internal/stats"
 )
@@ -34,6 +35,16 @@ type Spec struct {
 	NoiseLevels []float64 `json:"noise_levels,omitempty"` // capacity-noise std fractions; default [0]
 	Busy        bool      `json:"busy,omitempty"`         // busy-cell variant of every scenario
 	DurationMs  int       `json:"duration_ms,omitempty"`  // 0 = family default
+
+	// FaultAxes selects structured measurement-fault axes (faults.Axes
+	// vocabulary). Each listed axis expands into one job per fault level
+	// alongside the always-present clean point, one axis at a time - the
+	// scorecard attributes degradation per axis, so axes are never
+	// combined within a job. Monitor-only axes (stale/miss/handover)
+	// collapse away for schemes that never read the monitor; the onoff
+	// competitor applies to every scheme.
+	FaultAxes   []string  `json:"fault_axes,omitempty"`
+	FaultLevels []float64 `json:"fault_levels,omitempty"` // intensities in (0, 1]; default [1]
 
 	// Shards bounds how many shards of a sharded scenario (the metro
 	// family) advance concurrently inside each job. It is deliberately
@@ -53,11 +64,13 @@ type Job struct {
 	Scheme     string  `json:"scheme"`
 	Cells      int     `json:"cells,omitempty"`
 	Noise      float64 `json:"noise,omitempty"`
+	FaultAxis  string  `json:"fault_axis,omitempty"` // "" = clean channel
+	FaultLevel float64 `json:"fault_level,omitempty"`
 	Seed       int64   `json:"seed"`
 }
 
 func (j Job) params(spec *Spec) harness.Params {
-	return harness.Params{
+	p := harness.Params{
 		Seed:          j.Seed,
 		Duration:      time.Duration(spec.DurationMs) * time.Millisecond,
 		Cells:         j.Cells,
@@ -66,14 +79,50 @@ func (j Job) params(spec *Spec) harness.Params {
 		CapacityNoise: j.Noise,
 		Shards:        spec.Shards,
 	}
+	if j.FaultAxis != "" {
+		if err := p.SetFaultAxis(j.FaultAxis, j.FaultLevel); err != nil {
+			// Jobs() validated every axis name before expanding.
+			panic(fmt.Sprintf("sweep: job %d carries invalid fault axis: %v", j.Index, err))
+		}
+	}
+	return p
+}
+
+// faultPoint is one cell of a scheme's fault axis: the zero value is the
+// clean channel.
+type faultPoint struct {
+	axis  string
+	level float64
+}
+
+// faultPoints expands the spec's fault axes for one scheme: always the
+// clean point first, then one point per (applicable axis, level). Monitor
+// faults cannot reach a scheme that never reads the monitor, so those
+// axes collapse away instead of running duplicate clean jobs (the
+// scorecard reuses the clean point for them).
+func (s *Spec) faultPoints(scheme string) []faultPoint {
+	points := []faultPoint{{}}
+	levels := s.FaultLevels
+	if len(levels) == 0 {
+		levels = []float64{1}
+	}
+	for _, ax := range s.FaultAxes {
+		if faults.MonitorAxis(ax) && !harness.SchemeUsesMonitor(scheme) {
+			continue
+		}
+		for _, lv := range levels {
+			points = append(points, faultPoint{ax, lv})
+		}
+	}
+	return points
 }
 
 // Jobs expands the matrix in a fixed documented order (experiment, RAT,
-// scheme, cells, noise, seed - outermost to innermost) and validates every
-// distinct combination against the harness registry before any job runs.
-// Schemes that do not consume the monitor's capacity feed ignore
-// measurement noise, so for them the noise axis collapses to its
-// noise-free point instead of running duplicate jobs.
+// scheme, cells, noise, fault point, seed - outermost to innermost) and
+// validates every distinct combination against the harness registry
+// before any job runs. Schemes that do not consume the monitor's capacity
+// feed ignore measurement noise and monitor-fault axes, so for them those
+// axes collapse to their clean points instead of running duplicate jobs.
 func (s *Spec) Jobs() ([]Job, error) {
 	if len(s.Experiments) == 0 || len(s.Schemes) == 0 || len(s.Seeds) == 0 {
 		return nil, fmt.Errorf("sweep spec needs experiments, schemes and seeds (got %d/%d/%d)",
@@ -82,6 +131,16 @@ func (s *Spec) Jobs() ([]Job, error) {
 	for _, seed := range s.Seeds {
 		if seed == 0 {
 			return nil, fmt.Errorf("seed 0 is reserved for family defaults; use any non-zero seed")
+		}
+	}
+	for _, ax := range s.FaultAxes {
+		if err := new(faults.Spec).Set(ax, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, lv := range s.FaultLevels {
+		if lv <= 0 || lv > 1 {
+			return nil, fmt.Errorf("fault level %v outside (0, 1] (zero is the implicit clean point)", lv)
 		}
 	}
 	rats := s.RATs
@@ -97,7 +156,7 @@ func (s *Spec) Jobs() ([]Job, error) {
 		noises = []float64{0}
 	}
 	// Validity depends only on (experiment, scheme, RAT, cells), not on
-	// seed or noise: validate each distinct combination once.
+	// seed, noise or fault point: validate each distinct combination once.
 	validated := map[string]bool{}
 	var jobs []Job
 	for _, exp := range s.Experiments {
@@ -107,19 +166,23 @@ func (s *Spec) Jobs() ([]Job, error) {
 				if !harness.SchemeUsesMonitor(scheme) {
 					noiseAxis = []float64{0}
 				}
+				faultAxis := s.faultPoints(scheme)
 				for _, cells := range cellCounts {
 					for _, noise := range noiseAxis {
-						for _, seed := range s.Seeds {
-							j := Job{Index: len(jobs), Experiment: exp, RAT: rat,
-								Scheme: scheme, Cells: cells, Noise: noise, Seed: seed}
-							key := fmt.Sprintf("%s|%s|%s|%d", exp, rat, scheme, cells)
-							if !validated[key] {
-								if _, err := harness.BuildScenario(exp, scheme, j.params(s)); err != nil {
-									return nil, fmt.Errorf("job %d: %w", j.Index, err)
+						for _, fp := range faultAxis {
+							for _, seed := range s.Seeds {
+								j := Job{Index: len(jobs), Experiment: exp, RAT: rat,
+									Scheme: scheme, Cells: cells, Noise: noise,
+									FaultAxis: fp.axis, FaultLevel: fp.level, Seed: seed}
+								key := fmt.Sprintf("%s|%s|%s|%d", exp, rat, scheme, cells)
+								if !validated[key] {
+									if _, err := harness.BuildScenario(exp, scheme, j.params(s)); err != nil {
+										return nil, fmt.Errorf("job %d: %w", j.Index, err)
+									}
+									validated[key] = true
 								}
-								validated[key] = true
+								jobs = append(jobs, j)
 							}
-							jobs = append(jobs, j)
 						}
 					}
 				}
@@ -137,6 +200,8 @@ type Row struct {
 	Scheme     string  `json:"scheme"`
 	Cells      int     `json:"cells,omitempty"`
 	Noise      float64 `json:"noise,omitempty"`
+	FaultAxis  string  `json:"fault_axis,omitempty"`
+	FaultLevel float64 `json:"fault_level,omitempty"`
 	Seed       int64   `json:"seed"`
 
 	TputMbps    float64 `json:"tput_mbps"`
@@ -157,8 +222,9 @@ type Row struct {
 	LateFramePct float64 `json:"late_frame_pct,omitempty"`
 
 	// PBEErrPct is the measured flow's mean absolute capacity-estimation
-	// error versus the harness's noise-free oracle monitor, in percent
-	// (PBE rows only; see harness.FlowResult.PBEErrPct).
+	// error versus the harness's fault- and noise-free oracle monitor, in
+	// percent (monitor-consuming schemes only; see
+	// harness.FlowResult.PBEErrPct).
 	PBEErrPct float64 `json:"pbe_err_pct,omitempty"`
 }
 
@@ -179,24 +245,29 @@ func metricOf(s *stats.Series) Metric {
 	}
 }
 
-// Summary aggregates every row of one (experiment, RAT, scheme) group:
-// the unit the CI regression gate tracks.
+// Summary aggregates every row of one (experiment, RAT, scheme, fault
+// point) group: the unit the CI regression gate tracks. Clean and faulted
+// rows summarize separately - mixing them would let a fault-axis change
+// masquerade as (or mask) a clean-path regression.
 type Summary struct {
-	Experiment  string `json:"experiment"`
-	RAT         string `json:"rat"`
-	Scheme      string `json:"scheme"`
-	Jobs        int    `json:"jobs"`
-	Tput        Metric `json:"tput_mbps"`
-	DelayP95    Metric `json:"delay_p95_ms"`
-	Utilization Metric `json:"utilization"`
+	Experiment  string  `json:"experiment"`
+	RAT         string  `json:"rat"`
+	Scheme      string  `json:"scheme"`
+	FaultAxis   string  `json:"fault_axis,omitempty"`
+	FaultLevel  float64 `json:"fault_level,omitempty"`
+	Jobs        int     `json:"jobs"`
+	Tput        Metric  `json:"tput_mbps"`
+	DelayP95    Metric  `json:"delay_p95_ms"`
+	Utilization Metric  `json:"utilization"`
 
 	// Frame holds the frame-level distributions for media groups (nil
 	// for bulk groups).
 	Frame *FrameSummary `json:"frame,omitempty"`
 
-	// PBEErr holds the capacity-estimation-error distribution for PBE
-	// groups (nil for every other scheme). Presence is keyed on the
-	// scheme, not on the data, so it is deterministic across runs.
+	// PBEErr holds the capacity-estimation-error distribution for
+	// monitor-consuming groups (nil for every other scheme). Presence is
+	// keyed on the scheme, not on the data, so it is deterministic across
+	// runs.
 	PBEErr *Metric `json:"pbe_err_pct,omitempty"`
 }
 
@@ -209,7 +280,11 @@ type FrameSummary struct {
 
 // Key identifies a summary group across result files.
 func (s *Summary) Key() string {
-	return s.Experiment + "/" + s.RAT + "/" + s.Scheme
+	k := s.Experiment + "/" + s.RAT + "/" + s.Scheme
+	if s.FaultAxis != "" {
+		k += fmt.Sprintf("/%s@%v", s.FaultAxis, s.FaultLevel)
+	}
+	return k
 }
 
 // Result is a completed sweep: the spec it ran, one row per job in
@@ -283,7 +358,8 @@ func runJob(spec *Spec, j Job) Row {
 	f := res.Flows[0]
 	row := Row{
 		Experiment: j.Experiment, RAT: j.RAT, Scheme: j.Scheme,
-		Cells: j.Cells, Noise: j.Noise, Seed: j.Seed,
+		Cells: j.Cells, Noise: j.Noise,
+		FaultAxis: j.FaultAxis, FaultLevel: j.FaultLevel, Seed: j.Seed,
 		TputMbps:    stats.Round2(f.AvgTputMbps),
 		DelayP50Ms:  stats.Round2(f.Delay.Percentile(50)),
 		DelayP95Ms:  stats.Round2(f.Delay.Percentile(95)),
@@ -302,14 +378,14 @@ func runJob(spec *Spec, j Job) Row {
 		row.FreezeMs = stats.Round2(float64(fr.FreezeTime.Microseconds()) / 1000)
 		row.LateFramePct = stats.Round2(fr.LatePct())
 	}
-	if j.Scheme == "pbe" {
+	if harness.SchemeUsesMonitor(j.Scheme) {
 		row.PBEErrPct = stats.Round2(f.PBEErrPct)
 	}
 	return row
 }
 
-// Summarize groups rows by (experiment, RAT, scheme) and computes each
-// group's metric distributions, sorted by group key.
+// Summarize groups rows by (experiment, RAT, scheme, fault point) and
+// computes each group's metric distributions, sorted by group key.
 func Summarize(rows []Row) []Summary {
 	type acc struct {
 		tput, p95, util        stats.Series
@@ -321,7 +397,8 @@ func Summarize(rows []Row) []Summary {
 	groups := map[string]*acc{}
 	meta := map[string]Summary{}
 	for _, r := range rows {
-		s := Summary{Experiment: r.Experiment, RAT: r.RAT, Scheme: r.Scheme}
+		s := Summary{Experiment: r.Experiment, RAT: r.RAT, Scheme: r.Scheme,
+			FaultAxis: r.FaultAxis, FaultLevel: r.FaultLevel}
 		k := s.Key()
 		a := groups[k]
 		if a == nil {
@@ -347,7 +424,7 @@ func Summarize(rows []Row) []Summary {
 			a.frameP95.Add(r.FrameP95Ms)
 			a.freeze.Add(r.FreezeMs)
 		}
-		if r.Scheme == "pbe" {
+		if harness.SchemeUsesMonitor(r.Scheme) {
 			a.pbeErr.Add(r.PBEErrPct)
 		}
 	}
@@ -371,7 +448,7 @@ func Summarize(rows []Row) []Summary {
 				LatePct:  metricOf(&a.late),
 			}
 		}
-		if s.Scheme == "pbe" {
+		if harness.SchemeUsesMonitor(s.Scheme) {
 			m := metricOf(&a.pbeErr)
 			s.PBEErr = &m
 		}
