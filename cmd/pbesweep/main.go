@@ -7,11 +7,12 @@
 //	pbesweep -spec sweep.json -workers 8 -out results.json
 //	pbesweep -smoke -out BENCH_PR.json          # built-in CI smoke matrix
 //	pbesweep -metro-smoke -shards 4 -out m.json # city-scale sharded slice
+//	pbesweep -nation-smoke -shards 8 -out n.json # 64k-cell fluid-tier slice
 //	pbesweep -scorecard -out scorecard.json     # robustness ranking under faults
 //	pbesweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json
 //	pbesweep -scorecard-diff BENCH_scorecard_baseline.json scorecard.json
 //	pbesweep -benchdiff base_bench.txt cur_bench.txt  # go test -bench gate
-//	pbesweep -list                              # families, schemes, axes
+//	pbesweep -list                              # families, schemes, axes, built-in specs
 //
 // Results are bit-identical for any -workers value (every job runs on its
 // own seeded engine and rows land at their matrix index) and for any
@@ -42,6 +43,8 @@ func main() {
 	specPath := flag.String("spec", "", "sweep spec JSON file")
 	smoke := flag.Bool("smoke", false, "run the built-in CI smoke matrix")
 	metroSmoke := flag.Bool("metro-smoke", false, "run the built-in city-scale metro smoke slice")
+	nationSmoke := flag.Bool("nation-smoke", false, "run the built-in nation-scale fluid-tier smoke slice")
+	fluidBG := flag.Bool("fluid", false, "convert background churn to the fluid tier (sets the spec's \"fluid\" field; the nation family is always fluid)")
 	scorecard := flag.Bool("scorecard", false, "run the built-in robustness scorecard (schemes x fault axes) and write the ranked result; a spec with fault_axes can substitute via -spec")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "parallel shard width inside sharded jobs (0 = serial); never changes results")
@@ -71,7 +74,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runSweep(*specPath, *smoke, *metroSmoke, *scorecard, *workers, *shards, *out, *obsOn)
+		runSweep(*specPath, *smoke, *metroSmoke, *nationSmoke, *scorecard, *workers, *shards, *out, *obsOn, *fluidBG)
 		if err := stopProf(); err != nil {
 			fatal(err)
 		}
@@ -84,28 +87,53 @@ func listAxes() {
 		fmt.Printf("  %-12s %s (rats: %v)\n", f.ID, f.Title, f.RATs)
 	}
 	fmt.Printf("schemes: %v\n", harness.Schemes)
-	fmt.Println("other axes: seeds, rats, cell_counts, noise_levels, busy, duration_ms")
+	fmt.Println("other axes: seeds, rats, cell_counts, noise_levels, busy, duration_ms, fluid")
 	fmt.Printf("fault axes (spec \"fault_axes\" + \"fault_levels\", see -scorecard): %v\n", faults.Axes())
+	fmt.Println("built-in specs (job counts include the fault-axis expansion):")
+	for _, b := range []struct {
+		flag string
+		spec *sweep.Spec
+	}{
+		{"-smoke", sweep.Smoke()},
+		{"-metro-smoke", sweep.MetroSmoke()},
+		{"-nation-smoke", sweep.NationSmoke()},
+		{"-scorecard", sweep.ScorecardSpec()},
+	} {
+		jobs, err := b.spec.Jobs()
+		if err != nil {
+			fatal(err)
+		}
+		faulted := 0
+		for _, j := range jobs {
+			if j.FaultAxis != "" {
+				faulted++
+			}
+		}
+		fmt.Printf("  %-13s %-13s %4d jobs (%d on fault axes)\n",
+			b.flag, b.spec.Name, len(jobs), faulted)
+	}
 	fmt.Println("flags, not axes: -workers (job pool), -shards (intra-job width); neither changes results")
 }
 
-func runSweep(specPath string, smoke, metroSmoke, scorecard bool, workers, shards int, out string, obsOn bool) {
+func runSweep(specPath string, smoke, metroSmoke, nationSmoke, scorecard bool, workers, shards int, out string, obsOn, fluidBG bool) {
 	var spec *sweep.Spec
 	exclusive := 0
-	for _, on := range []bool{smoke, metroSmoke, specPath != ""} {
+	for _, on := range []bool{smoke, metroSmoke, nationSmoke, specPath != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	switch {
 	case exclusive > 1:
-		fatal(fmt.Errorf("-smoke, -metro-smoke and -spec are mutually exclusive"))
-	case scorecard && (smoke || metroSmoke):
-		fatal(fmt.Errorf("-scorecard cannot combine with -smoke/-metro-smoke (it has its own built-in matrix)"))
+		fatal(fmt.Errorf("-smoke, -metro-smoke, -nation-smoke and -spec are mutually exclusive"))
+	case scorecard && (smoke || metroSmoke || nationSmoke):
+		fatal(fmt.Errorf("-scorecard cannot combine with -smoke/-metro-smoke/-nation-smoke (it has its own built-in matrix)"))
 	case smoke:
 		spec = sweep.Smoke()
 	case metroSmoke:
 		spec = sweep.MetroSmoke()
+	case nationSmoke:
+		spec = sweep.NationSmoke()
 	case scorecard && specPath == "":
 		spec = sweep.ScorecardSpec()
 	case specPath != "":
@@ -122,9 +150,12 @@ func runSweep(specPath string, smoke, metroSmoke, scorecard bool, workers, shard
 			fatal(fmt.Errorf("%s: %w", specPath, err))
 		}
 	default:
-		fatal(fmt.Errorf("need -spec, -smoke, -metro-smoke, -diff or -list (see -h)"))
+		fatal(fmt.Errorf("need -spec, -smoke, -metro-smoke, -nation-smoke, -diff or -list (see -h)"))
 	}
 	spec.Shards = shards
+	if fluidBG {
+		spec.Fluid = true
+	}
 	if obsOn {
 		// Fresh registry state so the snapshot covers exactly this sweep.
 		obs.Reset()

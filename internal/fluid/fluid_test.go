@@ -1,0 +1,214 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pbecc/internal/phy"
+	"pbecc/internal/trace"
+)
+
+// onTime is the exact time a (rate, on, off, phase) envelope is on in
+// [0, T]: the continuous-time reference a per-packet on/off source
+// (netsim.CrossTraffic under harness.scheduleOnOff) offers load over.
+func onTime(on, off, phase, T time.Duration) time.Duration {
+	if T <= phase {
+		return 0
+	}
+	t := T - phase
+	cycle := on + off
+	active := time.Duration(t/cycle) * on
+	if rem := t % cycle; rem < on {
+		active += rem
+	} else {
+		active += on
+	}
+	return active
+}
+
+func testMCS() phy.MCS {
+	return phy.MCS{CQI: 11, Table: phy.Table64QAM, Streams: 1}
+}
+
+// drawSessions draws n sessions exactly the way the metro family's churn
+// population is drawn: Figure 11(b) rates (two PRBs' worth) and
+// SessionOnOff cycles, phase uniform over the cycle.
+func drawSessions(n int, rng *rand.Rand) []Session {
+	ss := make([]Session, n)
+	for i := range ss {
+		rate := trace.SampleUserRate(rng) * 2e6
+		on, off := trace.SessionOnOff(rng)
+		ss[i] = Session{
+			RNTI:    uint16(1000 + i),
+			MCS:     testMCS(),
+			RateBps: rate,
+			On:      on,
+			Off:     off,
+			Phase:   time.Duration(rng.Int63n(int64(on + off))),
+		}
+	}
+	return ss
+}
+
+// TestCellProcessCalibration is the fluid-tier calibration property: the
+// long-run aggregate offered load of the envelope process (active flags
+// re-evaluated only once per 40 ms window) must match the empirical mean
+// of the same per-packet SessionOnOff/SampleUserRate churn - computed
+// here in closed form as sum(rate x exact on-time) - within 2% at a
+// fixed seed.
+func TestCellProcessCalibration(t *testing.T) {
+	const T = 60 * time.Second
+	rng := rand.New(rand.NewSource(77))
+	ss := drawSessions(256, rng)
+
+	var want float64
+	for _, s := range ss {
+		want += s.RateBps * onTime(s.On, s.Off, s.Phase, T).Seconds()
+	}
+
+	p := NewCellProcess(ss, 0, 0) // default window, uncapped backlog
+	// One Demand call at T walks every window boundary, accruing each
+	// segment under the flags that were live during it.
+	p.Demand(T)
+	got := p.Stats().OfferedBits
+	if err := math.Abs(got-want) / want; err > 0.02 {
+		t.Fatalf("windowed offered load %.4g vs per-packet churn mean %.4g: error %.2f%% > 2%%",
+			got, want, 100*err)
+	}
+	if p.Stats().EnvelopeUpdates != uint64(T/DefaultWindow)+1 {
+		t.Fatalf("envelope updates = %d, want %d", p.Stats().EnvelopeUpdates, uint64(T/DefaultWindow)+1)
+	}
+}
+
+// TestModeledCalibration applies the same 2% calibration bound to the
+// compact modeled tier, against the analytic on-time of its own
+// millisecond-quantized session parameters.
+func TestModeledCalibration(t *testing.T) {
+	const T = 60 * time.Second
+	m := DrawModeled(64, 16, rand.New(rand.NewSource(99)), 0)
+
+	var want float64
+	for _, s := range m.sessions {
+		on := time.Duration(s.onMs) * time.Millisecond
+		off := time.Duration(s.offMs) * time.Millisecond
+		phase := time.Duration(s.phaseMs) * time.Millisecond
+		want += float64(s.rateBps) * onTime(on, off, phase, T).Seconds()
+	}
+
+	ch := m.Chunks(1)[0]
+	for now := m.Window; now <= T; now += m.Window {
+		ch.Advance(now)
+	}
+	got := m.Stats().OfferedBits
+	if err := math.Abs(got-want) / want; err > 0.02 {
+		t.Fatalf("modeled offered load %.4g vs churn mean %.4g: error %.2f%% > 2%%",
+			got, want, 100*err)
+	}
+}
+
+// TestModeledChunkPartitionInvariance: the modeled population's
+// accounting must not depend on how many chunks (shards) advance it.
+// Identical partitions must agree exactly; different widths only regroup
+// float sums, so they agree to rounding.
+func TestModeledChunkPartitionInvariance(t *testing.T) {
+	const T = 4 * time.Second
+	m := DrawModeled(64, 16, rand.New(rand.NewSource(5)), 0)
+	run := func(n int) Stats {
+		chunks := m.Chunks(n)
+		if len(chunks) != n {
+			t.Fatalf("Chunks(%d) yielded %d chunks", n, len(chunks))
+		}
+		cells := 0
+		for _, ch := range chunks {
+			for now := m.Window; now <= T; now += m.Window {
+				ch.Advance(now)
+			}
+			cells += ch.cells
+		}
+		if cells != m.Cells {
+			t.Fatalf("partition covers %d cells, want %d", cells, m.Cells)
+		}
+		return m.Stats()
+	}
+	base := run(1)
+	again := run(1)
+	if base != again {
+		t.Fatalf("same partition disagrees: %+v vs %+v", base, again)
+	}
+	for _, n := range []int{5, 8, 64} {
+		s := run(n)
+		if s.SessionOnWindows != base.SessionOnWindows || s.EnvelopeUpdates != base.EnvelopeUpdates {
+			t.Fatalf("n=%d integer stats differ: %+v vs %+v", n, s, base)
+		}
+		if rel := math.Abs(s.OfferedBits-base.OfferedBits) / base.OfferedBits; rel > 1e-12 {
+			t.Fatalf("n=%d offered bits differ by %.3g relative", n, rel)
+		}
+	}
+}
+
+// TestQuantumGate: a session below one packet quantum of backlog must
+// not demand (its PDCCH duty cycle should mimic a packet source's), and
+// Serve must drain exactly what was granted.
+func TestQuantumGate(t *testing.T) {
+	ss := []Session{{RNTI: 70, MCS: testMCS(), RateBps: 1e6, On: time.Hour, Off: time.Millisecond}}
+	p := NewCellProcess(ss, 0, 0)
+	// 1 Mbit/s x 10 ms = 10000 bits < QuantumBits (12000).
+	if d := p.Demand(10 * time.Millisecond); len(d) != 0 {
+		t.Fatalf("demand below quantum: %+v", d)
+	}
+	// By 16 ms the backlog passes the quantum.
+	d := p.Demand(16 * time.Millisecond)
+	if len(d) != 1 || d[0].RNTI != 70 || d[0].Bits < QuantumBits {
+		t.Fatalf("demand = %+v, want one entry >= quantum", d)
+	}
+	p.Serve(0, d[0].Bits)
+	if got := p.Stats().ServedBits; got != float64(d[0].Bits) {
+		t.Fatalf("served %v, want %v", got, d[0].Bits)
+	}
+	if d := p.Demand(16 * time.Millisecond); len(d) != 0 {
+		t.Fatalf("backlog not drained: %+v", d)
+	}
+}
+
+// TestBacklogCap: a capped session drops excess offered load like a full
+// per-user RLC queue, and the drop is accounted, not silently lost.
+func TestBacklogCap(t *testing.T) {
+	ss := []Session{{RNTI: 70, MCS: testMCS(), RateBps: 100e6, On: time.Hour, Off: time.Millisecond}}
+	p := NewCellProcess(ss, 0, 50000)
+	d := p.Demand(time.Second) // offered 100 Mbit, cap 50 kbit
+	if len(d) != 1 || d[0].Bits != 50000 {
+		t.Fatalf("demand = %+v, want one 50000-bit entry", d)
+	}
+	st := p.Stats()
+	if st.OfferedBits < 99e6 {
+		t.Fatalf("offered accounting lost to the cap: %v", st.OfferedBits)
+	}
+	if want := st.OfferedBits - 50000; math.Abs(st.DroppedBits-want) > 1 {
+		t.Fatalf("dropped = %v, want %v", st.DroppedBits, want)
+	}
+}
+
+// TestSessionPhase: a session is off before its phase delay and cycles
+// on-first afterwards, matching harness.scheduleOnOff's semantics.
+func TestSessionPhase(t *testing.T) {
+	s := Session{On: 30 * time.Millisecond, Off: 70 * time.Millisecond, Phase: 50 * time.Millisecond}
+	cases := []struct {
+		t    time.Duration
+		want bool
+	}{
+		{0, false},
+		{49 * time.Millisecond, false},
+		{50 * time.Millisecond, true},
+		{79 * time.Millisecond, true},
+		{80 * time.Millisecond, false},
+		{149 * time.Millisecond, false},
+		{150 * time.Millisecond, true},
+	}
+	for _, c := range cases {
+		if got := s.activeAt(c.t); got != c.want {
+			t.Errorf("activeAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}

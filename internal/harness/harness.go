@@ -21,6 +21,7 @@ import (
 	"pbecc/internal/cc/vivace"
 	"pbecc/internal/core"
 	"pbecc/internal/faults"
+	"pbecc/internal/fluid"
 	"pbecc/internal/lte"
 	"pbecc/internal/netsim"
 	"pbecc/internal/nr"
@@ -186,6 +187,13 @@ type Scenario struct {
 	// internal/faults). The zero value is the clean channel; the OnOff
 	// axis is assembled at scenario-build time (Params.apply), not here.
 	Faults faults.Spec
+
+	// Fluid, when non-nil, stands up the fluid background tier: per-cell
+	// aggregate rate-envelope sessions competing in the schedulers'
+	// water-fill (visible to PBE monitors through the control channel),
+	// plus an optional modeled-only nation-scale population. Nil keeps
+	// every cell byte-identical to the pre-fluid scheduler.
+	Fluid *FluidSpec
 }
 
 // SFUSpec configures the fan-out relay and its ingest leg.
@@ -295,6 +303,10 @@ type Result struct {
 	// Trace is the run's merged virtual-time trace when Scenario.Trace
 	// was set (nil otherwise); export with Trace.WriteChromeTrace.
 	Trace *obs.Recorder
+
+	// Fluid aggregates the fluid background tier's offered/served load
+	// when Scenario.Fluid was set (nil otherwise).
+	Fluid *fluid.Stats
 }
 
 // Run executes the scenario and collects per-flow statistics.
@@ -317,6 +329,11 @@ func Run(sc *Scenario) *Result {
 			ID: ns.ID, Mu: ns.Mu, NPRB: ns.NPRB, BandwidthMHz: ns.BandwidthMHz,
 			Table: ns.Table, Control: ns.Control,
 		})
+	}
+
+	var flRT *fluidRuntime
+	if sc.Fluid != nil {
+		flRT = setupFluid(sc, pl, cells, nrCells)
 	}
 
 	ues := map[int]*lte.UE{}              // LTE-only devices
@@ -662,6 +679,9 @@ func Run(sc *Scenario) *Result {
 
 	pl.cluster.RunUntil(sc.Duration)
 	res.Trace = pl.cluster.Recorder()
+	if flRT != nil {
+		res.Fluid = flRT.stats()
+	}
 
 	for i, fr := range res.Flows {
 		if fr.windows != nil {

@@ -117,6 +117,18 @@ func MetroScenario(scheme string, p Params) *Scenario {
 			ue.RNTI = uint16(300 + k)
 			ue.NRCellIDs = []int{101 + cellIdx}
 		}
+		if p.FluidBackground && k >= 4 {
+			// Fluid tier: slots 4-15 become per-cell rate envelopes
+			// instead of packet-level on/off flows. The three draws below
+			// mirror the packet path's default case exactly (same rng,
+			// same order), so both modes model the same population; slot
+			// 3 stays packet-level to keep EN-DC activation dynamics.
+			rate := trace.SampleUserRate(rng) * 2e6
+			on, off := trace.SessionOnOff(rng)
+			start := time.Duration(rng.Int63n(int64(dur/4 + 1)))
+			addFluidSession(sc, &ue, rate, on, off, start)
+			continue
+		}
 		sc.UEs = append(sc.UEs, ue)
 
 		fl := FlowSpec{ID: id, UE: id, Start: 0,

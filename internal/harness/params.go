@@ -41,6 +41,13 @@ type Params struct {
 	// concurrently (0 = family default, which is serial). Results are
 	// byte-identical for any value; only wall-clock time changes.
 	Shards int
+
+	// FluidBackground converts a family's churning background population
+	// to the fluid tier (internal/fluid): aggregate per-cell rate
+	// envelopes in place of per-packet on/off flows, so event volume
+	// scales with the measured flows. Families without a churn population
+	// ignore it; the nation family forces it on.
+	FluidBackground bool
 }
 
 // faultSpec collects the fault knobs into the faults vocabulary.
@@ -239,6 +246,7 @@ func Families() []Family {
 		{"rtc", "interactive frame-level video call (GoP source + jitter buffer)", []string{RATLTE, RATNR}, true, 0, RTCScenario},
 		{"sfu", "SFU fan-out: one ingest to 32 subscribers across LTE and NR cells", []string{RATLTE, RATNR}, true, 0, SFUScenario},
 		{"metro", "city-scale sharded mix: 64-256 cells, 16 UEs/cell, bulk+rtc+sfu flows with churn", []string{RATLTE, RATNR}, true, 2, MetroScenario},
+		{"nation", "nation-scale hybrid: metro packet foreground + 64k fluid-modeled cells / 1M+ users", []string{RATLTE, RATNR}, true, 2, NationScenario},
 	}
 }
 

@@ -47,10 +47,11 @@ type Cell struct {
 	NPRB  int
 	Table phy.CQITable
 
-	control  ControlSource
-	users    []*cellUser
-	byRNTI   map[uint16]*cellUser
-	monitors []Monitor
+	control    ControlSource
+	background BackgroundSource
+	users      []*cellUser
+	byRNTI     map[uint16]*cellUser
+	monitors   []Monitor
 
 	subframe    int
 	pendingRetx map[int][]*transportBlock
@@ -77,6 +78,7 @@ type Cell struct {
 	DataPRBs     uint64
 	RetxPRBs     uint64
 	ControlPRBs  uint64
+	FluidPRBs    uint64 // PRBs granted to fluid background users
 	QueueDropped uint64
 }
 
@@ -304,7 +306,10 @@ func (c *Cell) tick() {
 		}
 	}
 
-	// 3. Water-fill the remaining RBGs over backlogged data users.
+	// 3. Water-fill the remaining RBGs over backlogged data users. Fluid
+	// background users (virtual aggregate sessions, see SetBackground)
+	// join the same water-fill after the packet users, so both tiers
+	// share capacity under one fairness policy.
 	var blUsers []*cellUser
 	var wants []int
 	for _, u := range c.users {
@@ -315,6 +320,14 @@ func (c *Cell) tick() {
 		w := int(float64(u.queuedBits)/perRBG) + 1
 		blUsers = append(blUsers, u)
 		wants = append(wants, w)
+	}
+	var bg []BackgroundDemand
+	if c.background != nil {
+		bg = c.background.Demand(now)
+		for i := range bg {
+			perRBG := bg[i].MCS.BitsPerPRB() * float64(c.rbgSize)
+			wants = append(wants, int(float64(bg[i].Bits)/perRBG)+1)
+		}
 	}
 	grants := WaterFill(wants, rbgLeft, c.subframe)
 	for i, u := range blUsers {
@@ -335,6 +348,22 @@ func (c *Cell) tick() {
 		cursor += n
 		rbgLeft -= n
 		c.transmit(tb)
+	}
+	for i := range bg {
+		n := grants[len(blUsers)+i]
+		if n == 0 {
+			continue
+		}
+		prbs := c.prbsInRBGSpan(cursor, n)
+		bits := int(float64(prbs) * bg[i].MCS.BitsPerPRB())
+		rep.Allocs = append(rep.Allocs, Alloc{
+			RNTI: bg[i].RNTI, FirstRBG: cursor, NumRBGs: n, PRBs: prbs,
+			MCS: bg[i].MCS, TBBits: bits, NDI: true,
+		})
+		c.FluidPRBs += uint64(prbs)
+		cursor += n
+		rbgLeft -= n
+		c.background.Serve(i, bits)
 	}
 
 	for _, m := range c.monitors {

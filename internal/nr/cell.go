@@ -84,10 +84,11 @@ type Cell struct {
 	NPRB  int
 	Table phy.CQITable
 
-	control  lte.ControlSource
-	users    []*cellUser
-	byRNTI   map[uint16]*cellUser
-	monitors []lte.Monitor
+	control    lte.ControlSource
+	background lte.BackgroundSource
+	users      []*cellUser
+	byRNTI     map[uint16]*cellUser
+	monitors   []lte.Monitor
 
 	slot        int
 	spf         int // slots per subframe, 2^µ
@@ -111,6 +112,7 @@ type Cell struct {
 	DataPRBs     uint64
 	RetxPRBs     uint64
 	ControlPRBs  uint64
+	FluidPRBs    uint64 // PRBs granted to fluid background users
 	QueueDropped uint64
 }
 
@@ -221,6 +223,11 @@ func (c *Cell) SlotsPerSubframe() int { return phy.NRSlotsPerSubframe(c.Mu) }
 // registration order after each slot is scheduled. The report's Subframe
 // field carries the slot index.
 func (c *Cell) AttachMonitor(m lte.Monitor) { c.monitors = append(c.monitors, m) }
+
+// SetBackground attaches the cell's fluid background-traffic source (see
+// lte.BackgroundSource); virtual users join the per-slot water-fill like
+// packet users but generate no packet events.
+func (c *Cell) SetBackground(b lte.BackgroundSource) { c.background = b }
 
 // AttachUser connects a transport-block sink to this cell under the given
 // RNTI with the given radio channel.
@@ -392,7 +399,8 @@ func (c *Cell) tick() {
 	// 3. Water-fill the remaining RBGs over backlogged data users, reusing
 	// the LTE fairness policy. The service order rotates with the slot
 	// index so the capped grant at the band edge does not always fall on
-	// the same user.
+	// the same user. Fluid background users (virtual aggregate sessions,
+	// see SetBackground) join the same water-fill after the packet users.
 	var blUsers []*cellUser
 	var wants []int
 	for k := range c.users {
@@ -404,6 +412,14 @@ func (c *Cell) tick() {
 		w := int(float64(u.queuedBits)/perRBG) + 1
 		blUsers = append(blUsers, u)
 		wants = append(wants, w)
+	}
+	var bg []lte.BackgroundDemand
+	if c.background != nil {
+		bg = c.background.Demand(now)
+		for i := range bg {
+			perRBG := bg[i].MCS.BitsPerPRB() * float64(c.rbgSize)
+			wants = append(wants, int(float64(bg[i].Bits)/perRBG)+1)
+		}
 	}
 	grants := lte.WaterFill(wants, rbgLeft, c.slot)
 	for i, u := range blUsers {
@@ -429,6 +445,27 @@ func (c *Cell) tick() {
 		prbLeft -= prbs
 		rbgLeft -= n
 		c.transmit(tb)
+	}
+	for i := range bg {
+		n := grants[len(blUsers)+i]
+		if n == 0 {
+			continue
+		}
+		prbs := allocPRBs(n)
+		if prbs == 0 {
+			continue
+		}
+		bits := int(float64(prbs) * bg[i].MCS.BitsPerPRB())
+		rep.Allocs = append(rep.Allocs, lte.Alloc{
+			RNTI: bg[i].RNTI, FirstRBG: cursorPRB / c.rbgSize,
+			NumRBGs: n, PRBs: prbs,
+			MCS: bg[i].MCS, TBBits: bits, NDI: true,
+		})
+		c.FluidPRBs += uint64(prbs)
+		cursorPRB += prbs
+		prbLeft -= prbs
+		rbgLeft -= n
+		c.background.Serve(i, bits)
 	}
 
 	for _, m := range c.monitors {

@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNationSmokeSpec pins the CI nation slice's shape: it expands
+// without error, stays small enough for the PR gate, and every job runs
+// the nation family (which is always fluid).
+func TestNationSmokeSpec(t *testing.T) {
+	spec := NationSmoke()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("nation smoke expands to %d jobs, want 4", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Experiment != "nation" {
+			t.Fatalf("job %d runs %q", j.Index, j.Experiment)
+		}
+	}
+}
+
+// TestFluidSpecPlumbing: the spec-level fluid switch must reach the
+// harness params of every job, and a fluid nation row must surface the
+// population's size and offered load.
+func TestFluidSpecPlumbing(t *testing.T) {
+	spec := &Spec{
+		Name:        "t",
+		Experiments: []string{"metro"},
+		Schemes:     []string{"gcc"},
+		Seeds:       []int64{1},
+		CellCounts:  []int{2},
+		Fluid:       true,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := jobs[0].params(spec); !p.FluidBackground {
+		t.Fatal("spec.Fluid did not reach Params.FluidBackground")
+	}
+
+	nspec := NationSmoke()
+	nspec.DurationMs = int(100 * time.Millisecond / time.Millisecond)
+	nspec.RATs = nspec.RATs[:1]
+	nspec.Schemes = nspec.Schemes[:1]
+	res, err := Run(nspec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.FluidSessions < 1_000_000 {
+		t.Fatalf("nation row models %d fluid sessions, want >= 1M", row.FluidSessions)
+	}
+	if row.FluidOfferedMbps <= 0 {
+		t.Fatalf("nation row offered %v Mbit/s of fluid load", row.FluidOfferedMbps)
+	}
+}
+
+// TestFluidOffRowsUnchanged: a non-fluid spec must keep its rows free of
+// fluid fields, so committed packet baselines never churn.
+func TestFluidOffRowsUnchanged(t *testing.T) {
+	spec := &Spec{
+		Name:        "t",
+		Experiments: []string{"metro"},
+		Schemes:     []string{"gcc"},
+		Seeds:       []int64{1},
+		CellCounts:  []int{2},
+		DurationMs:  100,
+	}
+	res, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Rows[0]; r.FluidSessions != 0 || r.FluidOfferedMbps != 0 {
+		t.Fatalf("packet row carries fluid fields: %+v", r)
+	}
+}

@@ -46,6 +46,13 @@ type Spec struct {
 	FaultAxes   []string  `json:"fault_axes,omitempty"`
 	FaultLevels []float64 `json:"fault_levels,omitempty"` // intensities in (0, 1]; default [1]
 
+	// Fluid converts each family's churning background population to the
+	// fluid tier (harness.Params.FluidBackground). It is part of the
+	// serialized spec - a fluid row measures a materially different
+	// workload than a packet row - but is not a matrix axis: a spec is
+	// either fluid or not. The nation family is always fluid regardless.
+	Fluid bool `json:"fluid,omitempty"`
+
 	// Shards bounds how many shards of a sharded scenario (the metro
 	// family) advance concurrently inside each job. It is deliberately
 	// neither a matrix axis nor part of the serialized spec: results are
@@ -78,6 +85,8 @@ func (j Job) params(spec *Spec) harness.Params {
 		Busy:          spec.Busy,
 		CapacityNoise: j.Noise,
 		Shards:        spec.Shards,
+
+		FluidBackground: spec.Fluid,
 	}
 	if j.FaultAxis != "" {
 		if err := p.SetFaultAxis(j.FaultAxis, j.FaultLevel); err != nil {
@@ -226,6 +235,11 @@ type Row struct {
 	// percent (monitor-consuming schemes only; see
 	// harness.FlowResult.PBEErrPct).
 	PBEErrPct float64 `json:"pbe_err_pct,omitempty"`
+
+	// Fluid-tier accounting, present when the job ran a fluid background
+	// population: its size and mean offered load (Mbit/s).
+	FluidSessions    int     `json:"fluid_sessions,omitempty"`
+	FluidOfferedMbps float64 `json:"fluid_offered_mbps,omitempty"`
 }
 
 // Metric is the distribution of one metric across a summary group's jobs.
@@ -381,6 +395,10 @@ func runJob(spec *Spec, j Job) Row {
 	if harness.SchemeUsesMonitor(j.Scheme) {
 		row.PBEErrPct = stats.Round2(f.PBEErrPct)
 	}
+	if res.Fluid != nil {
+		row.FluidSessions = res.Fluid.Sessions
+		row.FluidOfferedMbps = stats.Round2(res.Fluid.OfferedMbps(sc.Duration))
+	}
 	return row
 }
 
@@ -488,5 +506,22 @@ func MetroSmoke() *Spec {
 		RATs:        []string{harness.RATLTE, harness.RATNR},
 		CellCounts:  []int{8},
 		DurationMs:  500,
+	}
+}
+
+// NationSmoke returns the nation-scale CI slice: a 4-cell packet
+// foreground over the full 65536-cell / 1M-user fluid-modeled tier, a
+// quarter second per job. CI runs it at -shards 1 and -shards 8 and
+// byte-compares (shard-width determinism over the fluid chunk
+// partition), then diffs against the committed BENCH_nation_baseline.json.
+func NationSmoke() *Spec {
+	return &Spec{
+		Name:        "nation-smoke",
+		Experiments: []string{"nation"},
+		Schemes:     []string{"pbe", "gcc"},
+		Seeds:       []int64{1},
+		RATs:        []string{harness.RATLTE, harness.RATNR},
+		CellCounts:  []int{4},
+		DurationMs:  250,
 	}
 }

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# CI gate driver. Every determinism, regression and budget check is one
+# named gate, so wiring a new family into ci.yml is a one-line step:
+#
+#   scripts/gate.sh <gate>
+#
+# Determinism gates (byte compare; writes the *_PR artifact):
+#   micro          engine microbenchmarks + allocation gate (>10% B/op or allocs/op)
+#   smoke-det      smoke matrix, workers 1 vs 8           -> BENCH_PR.json
+#   metro-det      metro slice, shards 1 vs 4             -> BENCH_METRO_PR.json
+#   obs-det        metro slice, -obs vs plain             -> metro_obs.json
+#   scorecard-det  robustness scorecard, workers 1 vs 8   -> BENCH_SCORECARD_PR.json
+#   nation-det     nation slice, shards 1 vs 8            -> BENCH_NATION_PR.json
+#
+# Regression gates (against the committed baselines):
+#   smoke-diff     BENCH_baseline.json           vs BENCH_PR.json        (>10% fails)
+#   metro-diff     BENCH_metro_baseline.json     vs BENCH_METRO_PR.json  (>10% fails)
+#   nation-diff    BENCH_nation_baseline.json    vs BENCH_NATION_PR.json (>10% fails)
+#   scorecard-diff BENCH_scorecard_baseline.json vs BENCH_SCORECARD_PR.json (>5 points fails)
+#
+# Timing budget:
+#   budget         sum the wall-clock of every gate run so far and fail
+#                  if the total exceeds GATE_BUDGET_SECONDS - a new slice
+#                  cannot silently balloon CI.
+#
+# Every gate appends "<name> <seconds>" to gate_times.txt and a row to
+# the GitHub job summary when $GITHUB_STEP_SUMMARY is set. The simulator
+# runs on a virtual clock, so each gate's *results* are machine-
+# independent; only these wall-clock numbers vary with the runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIMES_FILE="${GATE_TIMES_FILE:-gate_times.txt}"
+# Committed total gate budget (seconds). Generous for a cold module cache
+# on a shared runner; the per-gate rows in the job summary show where the
+# time goes when this trips.
+BUDGET_SECONDS="${GATE_BUDGET_SECONDS:-1200}"
+
+sweep() { go run ./cmd/pbesweep "$@"; }
+
+gate_micro() {
+  go test -bench . -benchmem -run '^$' ./internal/sim/ | tee BENCH_MICRO_PR.txt
+  # B/op and allocs/op are deterministic per op, so they gate even on
+  # shared runners; ns/op stays informational (no -max-regress-ns).
+  sweep -benchdiff -max-regress 10 -allow-missing BENCH_micro_baseline.txt BENCH_MICRO_PR.txt
+}
+
+gate_smoke_det() {
+  sweep -smoke -workers 1 -out run1.json
+  sweep -smoke -workers 8 -out BENCH_PR.json
+  cmp run1.json BENCH_PR.json
+}
+
+gate_metro_det() {
+  sweep -metro-smoke -shards 1 -out metro1.json
+  sweep -metro-smoke -shards 4 -out BENCH_METRO_PR.json
+  cmp metro1.json BENCH_METRO_PR.json
+}
+
+# Observability must never feed back into the simulation: the same slice
+# with the metrics registry enabled has to reproduce the untraced bytes
+# exactly. The snapshot lands in metro_obs.json.obs.json.
+gate_obs_det() {
+  sweep -metro-smoke -shards 4 -obs -out metro_obs.json
+  cmp BENCH_METRO_PR.json metro_obs.json
+}
+
+gate_scorecard_det() {
+  sweep -scorecard -workers 1 -out score1.json
+  sweep -scorecard -workers 8 -out BENCH_SCORECARD_PR.json
+  cmp score1.json BENCH_SCORECARD_PR.json
+}
+
+# The fluid tier's contract: 64k modeled cells / 1M+ users advanced by
+# per-shard chunks must produce the same bytes at any parallel width.
+gate_nation_det() {
+  sweep -nation-smoke -shards 1 -out nation1.json
+  sweep -nation-smoke -shards 8 -out BENCH_NATION_PR.json
+  cmp nation1.json BENCH_NATION_PR.json
+}
+
+gate_smoke_diff()  { sweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json; }
+gate_metro_diff()  { sweep -diff -max-regress 10 BENCH_metro_baseline.json BENCH_METRO_PR.json; }
+gate_nation_diff() { sweep -diff -max-regress 10 BENCH_nation_baseline.json BENCH_NATION_PR.json; }
+# Budget is percentage points of mean fault degradation per scheme (and
+# percent for the clean throughput it is normalized against).
+gate_scorecard_diff() { sweep -scorecard-diff -max-regress 5 BENCH_scorecard_baseline.json BENCH_SCORECARD_PR.json; }
+
+gate_budget() {
+  if [ ! -f "$TIMES_FILE" ]; then
+    echo "gate budget: no $TIMES_FILE (no gates ran?)" >&2
+    exit 1
+  fi
+  local total=0
+  while read -r _name secs; do
+    total=$((total + secs))
+  done <"$TIMES_FILE"
+  {
+    echo "### Gate timing"
+    echo ""
+    echo "| gate | seconds |"
+    echo "|---|---|"
+    awk '{printf "| %s | %s |\n", $1, $2}' "$TIMES_FILE"
+    echo "| **total** | **${total}** (budget ${BUDGET_SECONDS}) |"
+  } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+  if [ "$total" -gt "$BUDGET_SECONDS" ]; then
+    echo "FAIL: total gate time ${total}s exceeds the ${BUDGET_SECONDS}s budget" >&2
+    exit 1
+  fi
+}
+
+main() {
+  if [ $# -ne 1 ]; then
+    echo "usage: scripts/gate.sh <gate>" >&2
+    grep -o '^gate_[a-z_]*' "$0" | sed 's/^gate_/  /;s/_/-/g' | sort -u >&2
+    exit 2
+  fi
+  local name=$1
+  local fn=gate_${name//-/_}
+  if ! declare -F "$fn" >/dev/null; then
+    echo "unknown gate \"$name\"" >&2
+    exit 2
+  fi
+  if [ "$name" = budget ]; then
+    "$fn"
+    return
+  fi
+  local start end rc=0
+  start=$(date +%s)
+  "$fn" || rc=$?
+  end=$(date +%s)
+  echo "$name $((end - start))" >>"$TIMES_FILE"
+  echo "gate $name: $((end - start))s (exit $rc)"
+  return "$rc"
+}
+
+main "$@"
