@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pbecc/internal/harness"
+	"pbecc/internal/obs"
 	"pbecc/internal/phy"
 	"pbecc/internal/trace"
 )
@@ -28,6 +30,8 @@ func main() {
 	internetRate := flag.Float64("internet-rate", 0, "Internet bottleneck rate in bits/s (0 = none)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	mobile := flag.Bool("mobility", false, "use the paper's -85/-105 dBm trajectory")
+	series := flag.String("series", "", "write the run's time-series CSV to this file ('-' = stdout)")
+	seriesFilter := flag.String("series-filter", "", "comma-separated signal names to keep in the -series CSV (default: all)")
 	flag.Parse()
 
 	ok := false
@@ -44,6 +48,7 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	filter := parseSeriesFilter(*seriesFilter, *series != "")
 
 	loc := harness.Location{
 		Index: int(*seed), Name: "cli", Indoor: true,
@@ -62,8 +67,17 @@ func main() {
 	if *busy {
 		sc.Cells[0].Control = trace.Busy()
 	}
+	if *series != "" {
+		sc.Series = true
+	}
 
 	r := harness.Run(sc)
+	if *series != "" {
+		if err := writeSeries(*series, r, filter); err != nil {
+			fmt.Fprintln(os.Stderr, "pbesim:", err)
+			os.Exit(2)
+		}
+	}
 	f := r.Flows[0]
 	fmt.Printf("scheme          %s\n", f.Scheme)
 	fmt.Printf("duration        %v (seed %d)\n", *dur, *seed)
@@ -81,4 +95,55 @@ func main() {
 		fmt.Printf("capacity error  %.1f%% mean abs (vs noise-free oracle)\n", f.PBEErrPct)
 	}
 	fmt.Printf("CA triggered    %v\n", r.CATriggered)
+}
+
+// parseSeriesFilter validates the -series-filter value against the
+// registered signal names, exiting 2 with the valid names on a typo -
+// the same UX as an unknown -scheme, and for the same reason: a typo'd
+// signal silently filtering everything away looks like an empty run.
+func parseSeriesFilter(spec string, haveSeries bool) []string {
+	if spec == "" {
+		return nil
+	}
+	if !haveSeries {
+		fmt.Fprintln(os.Stderr, "pbesim: -series-filter requires -series <file>")
+		os.Exit(2)
+	}
+	valid := map[string]bool{}
+	for _, n := range obs.SeriesNames() {
+		valid[n] = true
+	}
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !valid[n] {
+			fmt.Fprintf(os.Stderr, "pbesim: unknown series %q in -series-filter\nregistered series:\n", n)
+			for _, s := range obs.SeriesNames() {
+				fmt.Fprintf(os.Stderr, "  %s\n", s)
+			}
+			os.Exit(2)
+		}
+		names = append(names, n)
+	}
+	return names
+}
+
+// writeSeries dumps the run's recorded series as CSV.
+func writeSeries(path string, r *harness.Result, names []string) error {
+	if r.Series == nil {
+		return fmt.Errorf("run produced no series recorder")
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return r.Series.WriteCSVFiltered(w, names)
 }

@@ -9,6 +9,8 @@
 //	pbesweep -metro-smoke -shards 4 -out m.json # city-scale sharded slice
 //	pbesweep -nation-smoke -shards 8 -out n.json # 64k-cell fluid-tier slice
 //	pbesweep -scorecard -out scorecard.json     # robustness ranking under faults
+//	pbesweep -traj-smoke -out traj.json         # trajectory slice (convergence/tracking gates)
+//	pbesweep -obs-diff base.obs.json cur.obs.json # snapshot diff (spec-hash checked)
 //	pbesweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json
 //	pbesweep -scorecard-diff BENCH_scorecard_baseline.json scorecard.json
 //	pbesweep -benchdiff base_bench.txt cur_bench.txt  # go test -bench gate
@@ -44,6 +46,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "run the built-in CI smoke matrix")
 	metroSmoke := flag.Bool("metro-smoke", false, "run the built-in city-scale metro smoke slice")
 	nationSmoke := flag.Bool("nation-smoke", false, "run the built-in nation-scale fluid-tier smoke slice")
+	trajSmoke := flag.Bool("traj-smoke", false, "run the built-in trajectory slice (steady family, all schemes, series analytics)")
 	fluidBG := flag.Bool("fluid", false, "convert background churn to the fluid tier (sets the spec's \"fluid\" field; the nation family is always fluid)")
 	scorecard := flag.Bool("scorecard", false, "run the built-in robustness scorecard (schemes x fault axes) and write the ranked result; a spec with fault_axes can substitute via -spec")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -51,6 +54,7 @@ func main() {
 	out := flag.String("out", "-", "result file ('-' = stdout)")
 	obsOn := flag.Bool("obs", false, "enable the metrics registry and write a snapshot to <out>.obs.json (stderr when -out is '-'); never changes the result")
 	diff := flag.Bool("diff", false, "diff two result files: pbesweep -diff [-max-regress N] base.json cur.json")
+	obsDiff := flag.Bool("obs-diff", false, "diff two -obs snapshot files: pbesweep -obs-diff base.obs.json cur.obs.json (rejects snapshots of different specs)")
 	scorecardDiff := flag.Bool("scorecard-diff", false, "diff two scorecard files: pbesweep -scorecard-diff [-max-regress N] base.json cur.json (robustness budget in percentage points)")
 	maxRegress := flag.Float64("max-regress", 10, "with -diff/-benchdiff: fail when any tracked metric (for -benchdiff: B/op, allocs/op) regresses more than this percentage")
 	benchDiff := flag.Bool("benchdiff", false, "diff two 'go test -bench -benchmem' output files: pbesweep -benchdiff [-max-regress N] [-max-regress-ns N] [-allow-missing] base.txt cur.txt")
@@ -65,6 +69,8 @@ func main() {
 		listAxes()
 	case *diff:
 		runDiff(flag.Args(), *maxRegress)
+	case *obsDiff:
+		runObsDiff(flag.Args())
 	case *scorecardDiff:
 		runScorecardDiff(flag.Args(), *maxRegress)
 	case *benchDiff:
@@ -74,7 +80,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runSweep(*specPath, *smoke, *metroSmoke, *nationSmoke, *scorecard, *workers, *shards, *out, *obsOn, *fluidBG)
+		runSweep(*specPath, *smoke, *metroSmoke, *nationSmoke, *trajSmoke, *scorecard, *workers, *shards, *out, *obsOn, *fluidBG)
 		if err := stopProf(); err != nil {
 			fatal(err)
 		}
@@ -97,6 +103,7 @@ func listAxes() {
 		{"-smoke", sweep.Smoke()},
 		{"-metro-smoke", sweep.MetroSmoke()},
 		{"-nation-smoke", sweep.NationSmoke()},
+		{"-traj-smoke", sweep.TrajSmoke()},
 		{"-scorecard", sweep.ScorecardSpec()},
 	} {
 		jobs, err := b.spec.Jobs()
@@ -115,25 +122,27 @@ func listAxes() {
 	fmt.Println("flags, not axes: -workers (job pool), -shards (intra-job width); neither changes results")
 }
 
-func runSweep(specPath string, smoke, metroSmoke, nationSmoke, scorecard bool, workers, shards int, out string, obsOn, fluidBG bool) {
+func runSweep(specPath string, smoke, metroSmoke, nationSmoke, trajSmoke, scorecard bool, workers, shards int, out string, obsOn, fluidBG bool) {
 	var spec *sweep.Spec
 	exclusive := 0
-	for _, on := range []bool{smoke, metroSmoke, nationSmoke, specPath != ""} {
+	for _, on := range []bool{smoke, metroSmoke, nationSmoke, trajSmoke, specPath != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	switch {
 	case exclusive > 1:
-		fatal(fmt.Errorf("-smoke, -metro-smoke, -nation-smoke and -spec are mutually exclusive"))
-	case scorecard && (smoke || metroSmoke || nationSmoke):
-		fatal(fmt.Errorf("-scorecard cannot combine with -smoke/-metro-smoke/-nation-smoke (it has its own built-in matrix)"))
+		fatal(fmt.Errorf("-smoke, -metro-smoke, -nation-smoke, -traj-smoke and -spec are mutually exclusive"))
+	case scorecard && (smoke || metroSmoke || nationSmoke || trajSmoke):
+		fatal(fmt.Errorf("-scorecard cannot combine with -smoke/-metro-smoke/-nation-smoke/-traj-smoke (it has its own built-in matrix)"))
 	case smoke:
 		spec = sweep.Smoke()
 	case metroSmoke:
 		spec = sweep.MetroSmoke()
 	case nationSmoke:
 		spec = sweep.NationSmoke()
+	case trajSmoke:
+		spec = sweep.TrajSmoke()
 	case scorecard && specPath == "":
 		spec = sweep.ScorecardSpec()
 	case specPath != "":
@@ -171,7 +180,7 @@ func runSweep(specPath string, smoke, metroSmoke, nationSmoke, scorecard bool, w
 		spec.Name, len(res.Rows), time.Since(start).Round(time.Millisecond))
 
 	if obsOn {
-		if err := writeSnapshot(out); err != nil {
+		if err := writeSnapshot(out, sweep.SpecHash(*spec)); err != nil {
 			fatal(err)
 		}
 	}
@@ -237,20 +246,56 @@ func progressLine(start time.Time) func(done, total int) {
 }
 
 // writeSnapshot dumps the metrics registry: to stderr when the result
-// goes to stdout, else to <out>.obs.json beside the result file.
-func writeSnapshot(out string) error {
+// goes to stdout, else to <out>.obs.json beside the result file. The
+// snapshot header carries the sweep spec's hash so -obs-diff can reject
+// a stale snapshot from a different matrix.
+func writeSnapshot(out, specHash string) error {
 	if out == "-" {
-		return obs.WriteSnapshot(os.Stderr)
+		return obs.WriteSnapshotSpec(os.Stderr, specHash)
 	}
 	f, err := os.Create(out + ".obs.json")
 	if err != nil {
 		return err
 	}
-	if err := obs.WriteSnapshot(f); err != nil {
+	if err := obs.WriteSnapshotSpec(f, specHash); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// runObsDiff compares two -obs snapshots metric by metric. Exit 1 on any
+// differing metric value: the snapshot totals of one spec are exactly
+// reproducible, so any drift is a behavior change. Mismatched spec
+// hashes are a usage error (exit 2): regenerate the stale snapshot.
+func runObsDiff(args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-obs-diff needs exactly two .obs.json files, got %d", len(args)))
+	}
+	base, err := obs.ReadSnapshot(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := obs.ReadSnapshot(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	deltas, err := obs.DiffSnapshots(base, cur)
+	if err != nil {
+		fatal(err)
+	}
+	changed := 0
+	for _, d := range deltas {
+		if d.Base != d.Cur {
+			changed++
+			fmt.Printf("%-40s base=%12.0f cur=%12.0f\n", d.Name, d.Base, d.Cur)
+		}
+	}
+	if changed > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d metric(s) differ between snapshots\n", changed)
+		os.Exit(1)
+	}
+	fmt.Printf("%d metrics identical\n", len(deltas))
 }
 
 // runScorecardDiff gates a fresh scorecard against the committed

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"pbecc/internal/harness"
+	"pbecc/internal/obs"
 )
 
 func main() {
@@ -54,12 +55,14 @@ func main() {
 		fatal(err)
 	}
 	sc.Trace = true
+	sc.Series = true
 
 	res := harness.Run(sc)
 	rec := res.Trace
 	if rec == nil {
 		fatal(fmt.Errorf("scenario produced no trace recorder"))
 	}
+	addSeriesTracks(rec, res.Series)
 	if rec.Dropped > 0 {
 		fmt.Fprintf(os.Stderr, "pbetrace: ring overflow dropped %d oldest events within single windows\n", rec.Dropped)
 	}
@@ -77,6 +80,41 @@ func main() {
 	}
 	if err := rec.WriteChromeTrace(w); err != nil {
 		fatal(err)
+	}
+}
+
+// addSeriesTracks projects the run's recorded series onto the trace as
+// counter tracks under a dedicated trace process: the transport's
+// per-window rate decisions ("series/cc.rate/flow<id>") next to the
+// monitor's capacity estimate ("series/monitor.est/ue<id>"), on the same
+// virtual clock as the shard spans and fault instants. The points are
+// already 40 ms window aggregates, so even a metro trace adds only a few
+// hundred events per track.
+func addSeriesTracks(rec *obs.Recorder, series *obs.SeriesRecorder) {
+	if series == nil {
+		return
+	}
+	pid := 0
+	for _, ev := range rec.Events() {
+		if ev.Pid >= pid {
+			pid = ev.Pid + 1
+		}
+	}
+	sb := rec.NewBuffer(pid)
+	for _, sig := range []struct{ name, unit string }{
+		{"cc.rate", "flow"},
+		{"monitor.est", "ue"},
+	} {
+		for _, k := range series.Keys() {
+			if k.Name != sig.name {
+				continue
+			}
+			track := fmt.Sprintf("series/%s/%s%d", sig.name, sig.unit, k.Tid)
+			for _, p := range series.TrackPoints(k.Name, k.Tid) {
+				sb.CounterEvent(track, p.Time(), p.Mean)
+			}
+			rec.Drain(sb)
+		}
 	}
 }
 

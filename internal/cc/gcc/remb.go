@@ -42,6 +42,10 @@ func (r *REMB) Rate() float64 { return r.aimd.rate }
 // 0 normal, 1 overusing, 2 underusing.
 func (r *REMB) State() int { return int(r.lastSignal) }
 
+// Overusing reports whether the detector currently hypothesizes an
+// overused (queue-building) bottleneck.
+func (r *REMB) Overusing() bool { return r.lastSignal == usageOver }
+
 // Observe folds one received data packet into the estimator. owd is the
 // packet's one-way delay (arrival minus send timestamp), so send time is
 // recovered as now-owd; in the simulator both clocks are the engine's
@@ -99,6 +103,23 @@ func (r *REMB) SetRegionCeiling(bps float64) { r.aimd.ceiling = bps }
 func (r *REMB) RestartProbe() {
 	r.aimd.decreased = false
 	r.aimd.capacity.reset()
+}
+
+// FloorRegion lifts the AIMD region to at least bps (bounded by the
+// region ceiling). A hybrid controller calls it while an external
+// measurement shows the headroom is already granted: the region then
+// operates from the measured point, so a later overuse backoff cuts from
+// the real operating rate instead of a stale crawl value.
+func (r *REMB) FloorRegion(bps float64) {
+	if bps <= 0 || bps <= r.aimd.rate {
+		return
+	}
+	if r.aimd.ceiling > 0 && bps > r.aimd.ceiling {
+		bps = r.aimd.ceiling
+	}
+	if bps > r.aimd.rate {
+		r.aimd.rate = bps
+	}
 }
 
 // SetConservative toggles the conservative increase mode: the

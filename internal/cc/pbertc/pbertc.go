@@ -64,6 +64,18 @@ type Feedback struct {
 	remb *gcc.REMB
 
 	wasInternet bool
+
+	// Fast-ramp arming (§4.3): the floor is a regime probe, not a steady
+	// pressure. floorArmed starts true; the first packet whose one-way
+	// delay crosses D_th while armed disarms it (the jump built a queue,
+	// so the entitlement is not deliverable end-to-end - an Internet hop
+	// is in the way). floorRef remembers the entitlement at disarm time:
+	// the floor re-arms when the measurement moves at least 20% from it
+	// (a genuine capacity step - handover, blockage edge - is exactly
+	// when the paper's one-RTT re-convergence matters) or when the
+	// bottleneck regime flips.
+	floorArmed bool
+	floorRef   float64
 }
 
 var _ cc.FeedbackSource = (*Feedback)(nil)
@@ -72,7 +84,7 @@ var _ cc.FeedbackSource = (*Feedback)(nil)
 // monitor. A nil monitor is legal and leaves a plain GCC estimator (the
 // conformance suite runs without a cellular path).
 func NewFeedback(mon *core.Monitor) *Feedback {
-	return &Feedback{mon: mon, det: core.NewDetector(), remb: gcc.NewREMB()}
+	return &Feedback{mon: mon, det: core.NewDetector(), remb: gcc.NewREMB(), floorArmed: true}
 }
 
 // REMB exposes the underlying estimator (tests and instrumentation).
@@ -94,7 +106,12 @@ func (f *Feedback) Feedback(now, owd time.Duration, dataBytes int) (float64, boo
 	if internet != f.wasInternet {
 		// Regime flip: the estimator is on what is effectively a new
 		// link, so it may re-probe at startup speed instead of crawling
-		// up from the old regime's operating point.
+		// up from the old regime's operating point. The fast-ramp floor
+		// deliberately does NOT re-arm here: after a disarm the regimes
+		// oscillate (the probe's queue flips Eqn 6 to Internet, the
+		// drained queue flips it back), and re-arming on the flip would
+		// re-fire the probe every cycle - a permanent standing queue.
+		// Only the entitlement moving re-arms the floor.
 		f.remb.RestartProbe()
 		f.wasInternet = internet
 	}
@@ -134,5 +151,36 @@ func (f *Feedback) Feedback(now, owd time.Duration, dataBytes int) (float64, boo
 		mConserve.Inc()
 	}
 	mFused.Inc()
+	// §4.3 fast ramp-up, the fusion's other half. The ceiling above pulls
+	// the region down the moment measured capacity drops; symmetrically,
+	// the measured entitlement is bandwidth the scheduler is granting us
+	// right now, so while the fast ramp is armed it floors the AIMD
+	// region - one RTT to capacity, the paper's convergence claim -
+	// instead of waiting for the region to crawl there against its own
+	// throughput-evidence limiter. The floor stops at fastRampFrac of the
+	// entitlement (the same stopline the conservative slopes use): the
+	// last stretch is the additive creep's job, so the jump itself never
+	// fills a queue on the measured cell. A one-way delay past the PBE
+	// threshold D_th while armed disarms the probe - the entitlement is
+	// not deliverable end-to-end, so an unseen hop (an Internet
+	// bottleneck Eqn 6 has not confirmed yet) owns the path and GCC's
+	// delay machinery governs; because the region was lifted, the
+	// backoff cuts from the real operating rate, not the pre-jump crawl
+	// value. A 20% move in the measured entitlement re-arms it: a
+	// capacity step is exactly when one-RTT re-convergence matters.
+	if f.floorArmed {
+		if owd > f.det.Threshold() {
+			f.floorArmed = false
+			f.floorRef = bps
+		} else if !f.remb.Overusing() {
+			f.remb.FloorRegion(fastRampFrac * bps)
+		}
+	} else if f.floorRef > 0 && (bps > 1.2*f.floorRef || bps < 0.8*f.floorRef) {
+		f.floorArmed = true
+	}
 	return f.remb.Observe(now, owd, dataBytes), false
 }
+
+// fastRampFrac is how much of the measured entitlement the fast ramp
+// claims outright; the remaining headroom is probed additively.
+const fastRampFrac = 0.85

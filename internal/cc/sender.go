@@ -19,6 +19,17 @@ var (
 	mPacingKbps    = obs.NewHistogram("cc.pacing_rate_kbps")
 )
 
+// Per-flow virtual-time series (40 ms windows; tid = flow ID): the
+// controller's pacing-rate and cwnd decisions, and acked volume per
+// window (bits per sample, so a window's Sum/40ms is the achieved
+// delivery rate - the trajectory the convergence analytics track, well
+// defined even for pure-window schemes whose PacingRate is 0).
+var (
+	seriesRate    = obs.Series("cc.rate")
+	seriesCwnd    = obs.Series("cc.cwnd")
+	seriesAckBits = obs.Series("cc.ack_bits")
+)
+
 // Sender is a full-buffer, UDP-based data sender driven by a Controller,
 // the shape of the paper's user-space prototype: it paces packets at the
 // controller's rate, respects the controller's congestion window, samples
@@ -77,6 +88,11 @@ type Sender struct {
 	lastRate             float64
 	lastCwnd             int
 	traceRate, traceCwnd string
+
+	// Series tracks, created lazily on the first ACK (nil when the run
+	// records no series; Sample on nil is one branch).
+	sRate, sCwnd, sAck *obs.SeriesTrack
+	seriesInit         bool
 }
 
 type sentPkt struct {
@@ -272,6 +288,7 @@ func (s *Sender) HandlePacket(now time.Duration, p *netsim.Packet) {
 	s.ctrl.OnAck(sample)
 	mAcks.Inc()
 	s.observeDecision(now)
+	s.observeSeries(now, info.bytes)
 	if s.OnAckHook != nil {
 		s.OnAckHook(sample)
 	}
@@ -306,11 +323,14 @@ func (s *Sender) observeDecision(now time.Duration) {
 			s.traceRate = fmt.Sprintf("cc/%s/flow%d/rate_mbps", s.ctrl.Name(), s.FlowID)
 			s.traceCwnd = fmt.Sprintf("cc/%s/flow%d/cwnd_kB", s.ctrl.Name(), s.FlowID)
 		}
+		// Decision tracks batch per 40 ms window: one ACK per packet
+		// makes per-sample counter events the dominant trace volume at
+		// metro scale, and Perfetto stalls loading them.
 		if rate != s.lastRate {
-			buf.CounterEvent(s.traceRate, now, rate/1e6)
+			buf.CounterWindowed(s.traceRate, now, rate/1e6)
 		}
 		if cwnd != s.lastCwnd {
-			buf.CounterEvent(s.traceCwnd, now, float64(cwnd)/1e3)
+			buf.CounterWindowed(s.traceCwnd, now, float64(cwnd)/1e3)
 		}
 	}
 	s.lastRate, s.lastCwnd = rate, cwnd
@@ -348,8 +368,32 @@ func (s *Sender) sweepLosses() {
 		mLosses.Inc()
 	}
 	s.observeDecision(now)
+	s.observeSeries(now, 0)
 	s.compactOrder()
 	s.pump()
+}
+
+// observeSeries downsamples the controller's post-event state into the
+// flow's series tracks: pacing rate (Mbit/s), cwnd (kB) and - on ACKs -
+// the acked volume (bits). Purely observational, independent of the
+// trace and metrics switches.
+func (s *Sender) observeSeries(now time.Duration, ackedBytes int) {
+	if !s.seriesInit {
+		s.seriesInit = true
+		if sb := s.eng.SeriesBuffer(); sb != nil {
+			s.sRate = sb.Track(seriesRate, s.FlowID)
+			s.sCwnd = sb.Track(seriesCwnd, s.FlowID)
+			s.sAck = sb.Track(seriesAckBits, s.FlowID)
+		}
+	}
+	if s.sRate == nil {
+		return
+	}
+	s.sRate.Sample(now, s.ctrl.PacingRate()/1e6)
+	s.sCwnd.Sample(now, float64(s.ctrl.CWND())/1e3)
+	if ackedBytes > 0 {
+		s.sAck.Sample(now, float64(ackedBytes)*8)
+	}
 }
 
 // compactOrder drops the acked/lost prefix of the send-order list.

@@ -51,6 +51,11 @@ var (
 	mOnOffFlows     = obs.NewCounter("faults.onoff_flows")
 )
 
+// Injection series (40 ms windows; tid 0): one sample per injected fault
+// event, so a window's Count is its injection volume. The harness emits
+// the OnOff competitor's on-transitions into the same signal.
+var seriesInject = obs.Series("fault.inject")
+
 // CountOnOffFlow records one adversarial on-off competitor stood up by
 // the harness (the axis lives at scenario level, not in the injector).
 func CountOnOffFlow() { mOnOffFlows.Inc() }
@@ -308,10 +313,21 @@ func (in *Injector) WrapFeed(next lte.Monitor) lte.Monitor {
 	}
 }
 
+// MarkInjection records one fault-injection event on eng's series. The
+// harness calls it for the OnOff competitor's on-transitions, which are
+// assembled at scenario build time rather than through an Injector.
+func MarkInjection(eng *sim.Engine) {
+	eng.SeriesBuffer().Track(seriesInject, 0).Sample(eng.Now(), 1)
+}
+
 // instant marks a fault on the run's trace when tracing is on, so
-// Perfetto shows injections aligned with the cc rate tracks.
+// Perfetto shows injections aligned with the cc rate tracks, and on the
+// run's "fault.inject" series (one sample per injection; a window's
+// Count is its injection volume) - the shading and recovery analytics
+// read the series.
 func (in *Injector) instant(name string, tid int) {
 	if b := in.eng.ObsBuffer(); b != nil {
 		b.Instant(name, "faults", in.eng.Now(), tid)
 	}
+	in.eng.SeriesBuffer().Track(seriesInject, 0).Sample(in.eng.Now(), 1)
 }

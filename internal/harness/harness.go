@@ -182,6 +182,15 @@ type Scenario struct {
 	// JSON. Tracing changes what is observed, never what happens.
 	Trace bool
 
+	// Series records the run's downsampled virtual-time series (40 ms
+	// windows): ground-truth versus estimated capacity, every cc flow's
+	// rate/cwnd/acked-volume trajectory, bottleneck queue depth, frame
+	// delay and freeze onsets, and fault-injection markers - exported
+	// through Result.Series. Like Trace, recording changes what is
+	// observed, never what happens: the sweep runner keeps it on for
+	// every job, and rows are byte-identical either way.
+	Series bool
+
 	// Faults selects the structured measurement-fault axes injected
 	// between the cells and each monitor-using flow's PBE monitor (see
 	// internal/faults). The zero value is the clean channel; the OnOff
@@ -303,6 +312,11 @@ type Result struct {
 	// Trace is the run's merged virtual-time trace when Scenario.Trace
 	// was set (nil otherwise); export with Trace.WriteChromeTrace.
 	Trace *obs.Recorder
+
+	// Series is the run's merged virtual-time series when Scenario.Series
+	// was set (nil otherwise); export with Series.WriteCSV or feed it to
+	// the sweep trajectory analytics.
+	Series *obs.SeriesRecorder
 
 	// Fluid aggregates the fluid background tier's offered/served load
 	// when Scenario.Fluid was set (nil otherwise).
@@ -565,6 +579,17 @@ func Run(sc *Scenario) *Result {
 		}
 	}
 
+	// Truth-only capacity oracle for the measured flow when its scheme
+	// never reads the monitor: series analytics need the ground-truth
+	// trajectory for every scheme, not just the monitor-consuming ones.
+	if sc.Series && len(sc.Flows) > 0 {
+		fs := sc.Flows[0]
+		if fs.Scheme != "fixed" && !SchemeUsesMonitor(fs.Scheme) {
+			us := spec(fs.UE)
+			attachTruthOracle(sc, pl.ueShard(us).Engine, us, devices[fs.UE], cells, nrCells, channels)
+		}
+	}
+
 	// Flows.
 	end := sc.Duration
 	var sfu *rtc.SFU
@@ -593,7 +618,12 @@ func Run(sc *Scenario) *Result {
 
 		if fs.Scheme == "fixed" {
 			ct := netsim.NewCrossTraffic(ueEng, dev, fs.FixedRate, fs.ID)
-			scheduleOnOff(ueEng, ct, fs, stop)
+			// The OnOff fault competitor's on-transitions are injection
+			// events for the recovery analytics; the competition family's
+			// deliberate competitor is workload, not a fault.
+			mark := sc.Faults.OnOff > 0 && fs.OnPeriod == faults.OnOffHalfPeriod &&
+				fs.OffPeriod == faults.OnOffHalfPeriod
+			scheduleOnOff(ueEng, ct, fs, stop, mark)
 			continue
 		}
 
@@ -634,9 +664,9 @@ func Run(sc *Scenario) *Result {
 			// Data path: sender -> (internet bottleneck) -> tower -> UE.
 			// The content server is pinned to its UE's cell shard, so the
 			// whole loop is shard-local.
-			var dataPath netsim.Handler = dev
-			dataPath = netsim.NewLink(ueEng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
-			snd = cc.NewSender(ueEng, fs.ID, dataPath, ctrl)
+			bottleneck := netsim.NewLink(ueEng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dev)
+			bottleneck.EnableQueueSeries(fs.ID)
+			snd = cc.NewSender(ueEng, fs.ID, bottleneck, ctrl)
 			fr.snd = snd
 			ueEng.At(start, snd.Start)
 			if stop < end {
@@ -679,6 +709,7 @@ func Run(sc *Scenario) *Result {
 
 	pl.cluster.RunUntil(sc.Duration)
 	res.Trace = pl.cluster.Recorder()
+	res.Series = pl.cluster.SeriesRecorder()
 	if flRT != nil {
 		res.Fluid = flRT.stats()
 	}
@@ -796,18 +827,27 @@ func monitorFeed(sc *Scenario, cell *lte.Cell, mon *core.Monitor) lte.Monitor {
 	}
 }
 
-func scheduleOnOff(eng *sim.Engine, ct *netsim.CrossTraffic, fs *FlowSpec, stop time.Duration) {
+func scheduleOnOff(eng *sim.Engine, ct *netsim.CrossTraffic, fs *FlowSpec, stop time.Duration, mark bool) {
 	if fs.OnPeriod <= 0 {
 		eng.At(fs.Start, ct.Start)
 		eng.At(stop, ct.Stop)
 		return
+	}
+	start := ct.Start
+	if mark {
+		// Same single event per on-transition; the series sample is a
+		// passive observation inside it.
+		start = func() {
+			faults.MarkInjection(eng)
+			ct.Start()
+		}
 	}
 	var cycle func(at time.Duration)
 	cycle = func(at time.Duration) {
 		if at >= stop {
 			return
 		}
-		eng.At(at, ct.Start)
+		eng.At(at, start)
 		off := at + fs.OnPeriod
 		if off > stop {
 			off = stop

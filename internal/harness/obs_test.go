@@ -30,12 +30,18 @@ func obsFingerprint(t *testing.T, res *Result) []byte {
 
 func runMetroObs(t *testing.T, shards int, metrics, trace bool) ([]byte, *Result) {
 	t.Helper()
+	return runMetroObsSeries(t, shards, metrics, trace, false)
+}
+
+func runMetroObsSeries(t *testing.T, shards int, metrics, trace, series bool) ([]byte, *Result) {
+	t.Helper()
 	sc, err := BuildScenario("metro", "pbe", Params{
 		Seed: 5, Cells: 4, Duration: 300 * time.Millisecond, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sc.Trace = trace
+	sc.Series = series
 	if metrics {
 		obs.Reset()
 		obs.Enable()
@@ -92,6 +98,49 @@ func TestTraceByteIdenticalAcrossShards(t *testing.T) {
 	}
 	if !bytes.Equal(render(1), render(4)) {
 		t.Fatal("trace bytes differ between -shards 1 and -shards 4")
+	}
+}
+
+// TestSeriesDoesNotChangeResults: recording series is as passive as
+// tracing - the metro fingerprint is byte-identical whether the series
+// layer is off, on, or on across a parallel shard split.
+func TestSeriesDoesNotChangeResults(t *testing.T) {
+	base, _ := runMetroObs(t, 1, false, false)
+	for _, shards := range []int{1, 4} {
+		got, res := runMetroObsSeries(t, shards, false, false, true)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("shards %d: series recording changed the results", shards)
+		}
+		if res.Series == nil || res.Series.Len() == 0 {
+			t.Fatalf("shards %d: series run recorded no points", shards)
+		}
+	}
+}
+
+// TestSeriesByteIdenticalAcrossShards: the merged series CSV - window
+// aggregates and all - is independent of the parallel width, because
+// buffers drain serially in shard order and (Win, Pid, seq) is a total
+// order.
+func TestSeriesByteIdenticalAcrossShards(t *testing.T) {
+	render := func(shards int) []byte {
+		_, res := runMetroObsSeries(t, shards, false, false, true)
+		var buf bytes.Buffer
+		if err := res.Series.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if res.Series.Dropped != 0 {
+			t.Fatalf("shards %d: dropped %d series points", shards, res.Series.Dropped)
+		}
+		return buf.Bytes()
+	}
+	one := render(1)
+	if !bytes.Equal(one, render(8)) {
+		t.Fatal("series bytes differ between -shards 1 and -shards 8")
+	}
+	for _, name := range []string{"cc.rate", "cc.ack_bits", "monitor.truth", "monitor.est", "net.queue"} {
+		if !bytes.Contains(one, []byte(name)) {
+			t.Errorf("metro series missing signal %s", name)
+		}
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 
 	"pbecc/internal/core"
 	"pbecc/internal/lte"
+	"pbecc/internal/nr"
 	"pbecc/internal/obs"
+	"pbecc/internal/phy"
 	"pbecc/internal/sim"
 )
 
@@ -14,6 +16,17 @@ import (
 var (
 	mProbeSamples = obs.NewCounter("pbe.probe_samples")
 	mProbeErrPct  = obs.NewHistogram("pbe.capacity_err_pct")
+)
+
+// Capacity series (40 ms windows, Mbit/s; tid = UE ID): the oracle
+// monitor's ground-truth capacity, and the estimate the transport last
+// acted on (monitor-consuming schemes only). For every other scheme the
+// harness stands up a truth-only oracle for the measured UE, so the
+// convergence and tracking analytics have the same reference trajectory
+// for all ten schemes.
+var (
+	seriesTruth = obs.Series("monitor.truth")
+	seriesEst   = obs.Series("monitor.est")
 )
 
 // pbeProbe measures how accurate PBE-CC's capacity estimate actually is,
@@ -51,15 +64,29 @@ func newPBEProbe(mon *core.Monitor, rnti uint16) *pbeProbe {
 // sampler returns the per-slot callback attached to the UE's primary
 // cell, after both monitor feeds, so it observes a fully ingested slot.
 // When the run is traced it also emits the error as a per-UE counter
-// track.
+// track (batched per 40 ms window), and when it records series it
+// downsamples truth and estimate into the capacity tracks.
 func (p *pbeProbe) sampler(eng *sim.Engine, ueID int) lte.Monitor {
 	var track string
+	var truthTrack, estTrack *obs.SeriesTrack
+	seriesInit := false
 	return func(rep *lte.SubframeReport) {
+		if !seriesInit {
+			seriesInit = true
+			if sb := eng.SeriesBuffer(); sb != nil {
+				truthTrack = sb.Track(seriesTruth, ueID)
+				estTrack = sb.Track(seriesEst, ueID)
+			}
+		}
 		est := p.mon.LastCapacityBits()
 		truth := p.oracle.CapacityBits()
+		if truth > 0 {
+			truthTrack.Sample(eng.Now(), truth/1e3)
+		}
 		if est <= 0 || truth <= 0 {
 			return // no feedback taken yet, or an empty window
 		}
+		estTrack.Sample(eng.Now(), est/1e3)
 		e := (est - truth) / truth
 		if e < 0 {
 			e = -e
@@ -74,7 +101,7 @@ func (p *pbeProbe) sampler(eng *sim.Engine, ueID int) lte.Monitor {
 			if track == "" {
 				track = fmt.Sprintf("pbe/ue%d/err_pct", ueID)
 			}
-			buf.CounterEvent(track, eng.Now(), e*100)
+			buf.CounterWindowed(track, eng.Now(), e*100)
 		}
 	}
 }
@@ -86,4 +113,102 @@ func (p *pbeProbe) ErrPct() float64 {
 		return 0
 	}
 	return 100 * p.sumAbs / float64(p.n)
+}
+
+// attachTruthOracle stands up a truth-only oracle monitor for a UE whose
+// measured flow's scheme never reads the PBE monitor: the series layer
+// still needs the ground-truth capacity trajectory so convergence time
+// and tracking lag are defined for every scheme. The oracle mirrors the
+// probe oracle's attach discipline (direct feeds, no noise, no decode
+// path) and is strictly passive, so attaching it never changes the run.
+func attachTruthOracle(sc *Scenario, eng *sim.Engine, us *UESpec, dev device,
+	cells map[int]*lte.Cell, nrCells map[int]*nr.Cell, channels map[[2]int]*phy.Channel) {
+	sb := eng.SeriesBuffer()
+	if sb == nil {
+		return
+	}
+	oracle := core.NewMonitor(us.RNTI)
+	oracle.UseFilter = !sc.DisableUserFilter
+
+	attachNR := func(cid int) {
+		cell := nrCells[cid]
+		ch := channels[[2]int{us.ID, cid}]
+		oracle.AttachCell(core.CellInfo{
+			ID:               cell.ID,
+			NPRB:             cell.NPRB,
+			SlotsPerSubframe: cell.SlotsPerSubframe(),
+			CBGBits:          nr.CodeBlockBits,
+			Rate:             func() float64 { return ch.MCS().BitsPerPRB() },
+			BER:              func() float64 { return ch.BER() },
+		})
+	}
+	attachLTE := func(active []*lte.Cell) {
+		activeSet := map[int]bool{}
+		for _, cid := range us.NRCellIDs {
+			activeSet[cid] = true // NR attach/detach is handled separately
+		}
+		for _, c := range active {
+			activeSet[c.ID] = true
+			already := false
+			for _, id := range oracle.ActiveCellIDs() {
+				if id == c.ID {
+					already = true
+				}
+			}
+			if !already {
+				ch := channels[[2]int{us.ID, c.ID}]
+				oracle.AttachCell(core.CellInfo{
+					ID:   c.ID,
+					NPRB: c.NPRB,
+					Rate: func() float64 { return ch.MCS().BitsPerPRB() },
+					BER:  func() float64 { return ch.BER() },
+				})
+			}
+		}
+		for _, id := range append([]int(nil), oracle.ActiveCellIDs()...) {
+			if !activeSet[id] {
+				oracle.DetachCell(id)
+			}
+		}
+	}
+
+	switch dev := dev.(type) {
+	case *lte.UE:
+		attachLTE(dev.ActiveCells())
+		dev.OnActiveChange(attachLTE)
+	case *nr.ENDC:
+		anchor := dev.AnchorUE()
+		attachLTE(anchor.ActiveCells())
+		anchor.OnActiveChange(attachLTE)
+		nrID := us.NRCellIDs[0]
+		dev.OnSecondaryChange(func(active bool) {
+			if active {
+				attachNR(nrID)
+			} else {
+				oracle.DetachCell(nrID)
+			}
+		})
+	case *nr.UE:
+		for _, cid := range us.NRCellIDs {
+			attachNR(cid)
+		}
+	}
+	for _, cid := range us.CellIDs {
+		cells[cid].AttachMonitor(oracle.OnSubframe)
+	}
+	for _, cid := range us.NRCellIDs {
+		nrCells[cid].AttachMonitor(oracle.OnSubframe)
+	}
+
+	track := sb.Track(seriesTruth, us.ID)
+	sample := func(rep *lte.SubframeReport) {
+		if truth := oracle.CapacityBits(); truth > 0 {
+			track.Sample(eng.Now(), truth/1e3)
+		}
+	}
+	if len(us.CellIDs) > 0 {
+		cells[us.CellIDs[0]].AttachMonitor(sample)
+	} else {
+		nrCells[us.NRCellIDs[0]].AttachMonitor(sample)
+	}
 }

@@ -42,11 +42,12 @@ func attachMediaFlow(eng *sim.Engine, fs *FlowSpec, fr *FlowResult, dev device,
 	mrcv := rtc.NewReceiver(eng, fs.ID, ackLink, spec)
 	mrcv.Transport().Feedback = fb
 	mrcv.OnData = onData
+	mrcv.EnableSeries(fs.ID)
 	dev.RegisterFlow(fs.ID, mrcv)
 
-	var dataPath netsim.Handler = dev
-	dataPath = netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dataPath)
-	msnd = rtc.NewSender(eng, fs.ID, dataPath, ctrl, spec)
+	bottleneck := netsim.NewLink(eng, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dev)
+	bottleneck.EnableQueueSeries(fs.ID)
+	msnd = rtc.NewSender(eng, fs.ID, bottleneck, ctrl, spec)
 	enc := rtc.NewEncoder(eng, spec, msnd.QueueFrame)
 	enc.Available = msnd.AvailableRate
 
@@ -122,9 +123,11 @@ func attachSubscriber(ue, core *sim.Shard, sfu *rtc.SFU, fs *FlowSpec, fr *FlowR
 	srcv := rtc.NewReceiver(ue.Engine, fs.ID, ackLink, sfu.LegSpec())
 	srcv.Transport().Feedback = fb
 	srcv.OnData = onData
+	srcv.EnableSeries(fs.ID)
 	dev.RegisterFlow(fs.ID, srcv)
 
 	dataPath := netsim.NewCrossLink(core, ue, fs.InternetRate, fs.RTTBase/2, fs.InternetQueue, dev)
+	dataPath.EnableQueueSeries(fs.ID)
 	sub = sfu.AddSubscriber(fs.ID, dataPath, ctrl)
 
 	fr.Frames = srcv.Stats()

@@ -37,6 +37,9 @@ func newPlacement(sc *Scenario) *placement {
 	if sc.Trace {
 		cl.SetRecorder(obs.NewRecorder())
 	}
+	if sc.Series {
+		cl.SetSeriesRecorder(obs.NewSeriesRecorder())
+	}
 	pl := &placement{cluster: cl, byCell: map[int]*sim.Shard{}}
 
 	if !sc.Sharded {

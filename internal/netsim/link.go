@@ -16,6 +16,11 @@ var (
 	mQueueMax   = obs.NewWatermark("netsim.queue_bytes_max")
 )
 
+// Per-link queue-depth series (40 ms windows, kB; tid = the measured
+// flow's ID): sampled at every enqueue and dequeue of the instrumented
+// bottleneck link, opt-in through EnableQueueSeries.
+var seriesQueue = obs.Series("net.queue")
+
 // Link is a fixed-rate, fixed-propagation-delay link with a drop-tail
 // queue, the standard model for an Internet bottleneck. A zero RateBps
 // means infinite rate (pure delay); a zero QueueBytes means an unbounded
@@ -43,6 +48,10 @@ type Link struct {
 	Drops      uint64
 	SentBytes  uint64
 	DropsBytes uint64
+
+	// queueTrack, when non-nil, downsamples the queue depth into the
+	// run's series (EnableQueueSeries); nil costs one branch per sample.
+	queueTrack *obs.SeriesTrack
 }
 
 // NewLink returns a link that delivers packets to dst.
@@ -85,6 +94,15 @@ func (l *Link) propagate(p *Packet) {
 	l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
 }
 
+// EnableQueueSeries marks this link as the measured bottleneck of flow
+// tid: its drop-tail queue depth is downsampled into the run's "net.queue"
+// series. A no-op when the run records no series.
+func (l *Link) EnableQueueSeries(tid int) {
+	if sb := l.eng.SeriesBuffer(); sb != nil {
+		l.queueTrack = sb.Track(seriesQueue, tid)
+	}
+}
+
 // SetDestination rewires the link's receiving end.
 func (l *Link) SetDestination(dst Handler) { l.dst = dst }
 
@@ -118,6 +136,7 @@ func (l *Link) Send(p *Packet) {
 		mQueueBytes.Observe(int64(l.queuedBytes))
 		mQueueMax.Observe(int64(l.queuedBytes))
 	}
+	l.queueTrack.Sample(l.eng.Now(), float64(l.queuedBytes)/1e3)
 	if !l.busy {
 		l.transmitNext()
 	}
@@ -133,6 +152,7 @@ func (l *Link) transmitNext() {
 	copy(l.queue, l.queue[1:])
 	l.queue = l.queue[:len(l.queue)-1]
 	l.queuedBytes -= p.Size
+	l.queueTrack.Sample(l.eng.Now(), float64(l.queuedBytes)/1e3)
 
 	txTime := time.Duration(float64(p.Size*8) / l.RateBps * float64(time.Second))
 	l.eng.Schedule(txTime, func() {

@@ -160,3 +160,28 @@ func TestMetricNamesSortedAndComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffSnapshotsRejectsSpecMismatch(t *testing.T) {
+	base := Snapshot{SpecHash: "aaa", Counters: map[string]uint64{"x": 1}}
+	cur := Snapshot{SpecHash: "bbb", Counters: map[string]uint64{"x": 1}}
+	if _, err := DiffSnapshots(base, cur); err == nil {
+		t.Fatal("differing spec hashes not rejected")
+	}
+	// A legacy snapshot without a header must not silently compare
+	// against a stamped one either.
+	if _, err := DiffSnapshots(Snapshot{}, cur); err == nil {
+		t.Fatal("missing spec hash on one side not rejected")
+	}
+	cur.SpecHash = "aaa"
+	cur.Counters["y"] = 3
+	deltas, err := DiffSnapshots(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 || deltas[0].Name != "x" || deltas[1].Name != "y" {
+		t.Fatalf("deltas = %+v, want sorted union x,y", deltas)
+	}
+	if deltas[1].Base != 0 || deltas[1].Cur != 3 {
+		t.Fatalf("one-sided metric delta = %+v", deltas[1])
+	}
+}

@@ -4,8 +4,18 @@ import (
 	"time"
 
 	"pbecc/internal/netsim"
+	"pbecc/internal/obs"
 	"pbecc/internal/sim"
 	"pbecc/internal/stats"
+)
+
+// Frame-level virtual-time series (40 ms windows; tid = flow ID):
+// capture-to-release delay of released frames (ms), and freeze onsets -
+// each sample is one stall's length beyond the 1.5-frame-interval
+// allowance (ms), so a window's Count is its number of freeze onsets.
+var (
+	seriesFrameDelay = obs.Series("rtc.frame_delay")
+	seriesFreeze     = obs.Series("rtc.freeze")
 )
 
 // skipWait is how long the jitter buffer waits for an incomplete frame
@@ -61,6 +71,9 @@ type JitterBuffer struct {
 	// capture-to-release delay.
 	OnFrame func(f Frame, delay time.Duration)
 
+	// Series tracks (EnableSeries); nil when the run records no series.
+	delayTrack, freezeTrack *obs.SeriesTrack
+
 	stats FrameStats
 }
 
@@ -78,6 +91,16 @@ func NewJitterBuffer(eng *sim.Engine, spec MediaSpec) *JitterBuffer {
 
 // Stats exposes the accumulated frame metrics.
 func (jb *JitterBuffer) Stats() *FrameStats { return &jb.stats }
+
+// EnableSeries downsamples the buffer's frame delay and freeze onsets
+// into the run's series under flow tid. Simulcast layers of one flow
+// share the (signal, tid) tracks. A no-op when the run records no series.
+func (jb *JitterBuffer) EnableSeries(tid int) {
+	if sb := jb.eng.SeriesBuffer(); sb != nil {
+		jb.delayTrack = sb.Track(seriesFrameDelay, tid)
+		jb.freezeTrack = sb.Track(seriesFreeze, tid)
+	}
+}
 
 // Add folds one received media packet in, releasing any frames that
 // become playable.
@@ -145,9 +168,11 @@ func (jb *JitterBuffer) release(now time.Duration, pf *pendingFrame) {
 	if delay > jb.spec.Deadline {
 		jb.stats.PastDeadline++
 	}
+	jb.delayTrack.Sample(now, float64(delay.Microseconds())/1000)
 	if jb.stats.Released > 1 {
 		if gap, allowed := now-jb.lastRelease, 3*jb.spec.FrameInterval()/2; gap > allowed {
 			jb.stats.FreezeTime += gap - allowed
+			jb.freezeTrack.Sample(now, float64((gap-allowed).Microseconds())/1000)
 		}
 	}
 	jb.lastRelease = now

@@ -71,6 +71,14 @@ func (r *Receiver) Transport() *cc.Receiver { return r.tr }
 // Stats exposes the frame metrics of the single-stream jitter buffer.
 func (r *Receiver) Stats() *FrameStats { return r.JB.Stats() }
 
+// EnableSeries downsamples every layer's frame delay and freeze onsets
+// into the run's series under flow tid (layers share the tracks).
+func (r *Receiver) EnableSeries(tid int) {
+	for _, jb := range r.jbs {
+		jb.EnableSeries(tid)
+	}
+}
+
 // HandlePacket implements netsim.Handler for packets released by the UE.
 func (r *Receiver) HandlePacket(now time.Duration, p *netsim.Packet) {
 	r.tr.HandlePacket(now, p)

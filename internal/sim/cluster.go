@@ -47,6 +47,11 @@ type Cluster struct {
 	// window barrier (a serial phase, in shard order, so the merged
 	// trace is byte-identical for any worker count).
 	rec *obs.Recorder
+
+	// srec, when non-nil, collects the run's downsampled virtual-time
+	// series the same way: per-shard rings, drained at every window
+	// barrier, merged by (window, shard, seq).
+	srec *obs.SeriesRecorder
 }
 
 // NewCluster returns an empty cluster. Shard engine seeds derive from
@@ -73,6 +78,9 @@ func (c *Cluster) AddShard() *Shard {
 	if c.rec != nil {
 		s.Engine.SetObsBuffer(c.rec.NewBuffer(id))
 	}
+	if c.srec != nil {
+		s.Engine.SetSeriesBuffer(c.srec.NewBuffer(id))
+	}
 	c.shards = append(c.shards, s)
 	return s
 }
@@ -94,6 +102,24 @@ func (c *Cluster) SetRecorder(r *obs.Recorder) {
 
 // Recorder returns the attached trace recorder (nil when untraced).
 func (c *Cluster) Recorder() *obs.Recorder { return c.rec }
+
+// SetSeriesRecorder attaches a series recorder: every shard (existing
+// and future) gets a series ring keyed by its id. Like tracing, series
+// recording changes what is observed, never what happens.
+func (c *Cluster) SetSeriesRecorder(r *obs.SeriesRecorder) {
+	c.srec = r
+	for _, s := range c.shards {
+		if r != nil {
+			s.Engine.SetSeriesBuffer(r.NewBuffer(s.id))
+		} else {
+			s.Engine.SetSeriesBuffer(nil)
+		}
+	}
+}
+
+// SeriesRecorder returns the attached series recorder (nil when the run
+// records no series).
+func (c *Cluster) SeriesRecorder() *obs.SeriesRecorder { return c.srec }
 
 // Shards returns the cluster's shards in creation order.
 func (c *Cluster) Shards() []*Shard { return c.shards }
@@ -164,9 +190,20 @@ func (c *Cluster) RunUntil(t time.Duration) {
 	}
 	if c.rec != nil {
 		// Collect anything emitted after the last barrier (the final
-		// convergence pass above, or an unsharded straight-through run).
+		// convergence pass above, or an unsharded straight-through run),
+		// closing open windowed-counter aggregates first.
 		for _, s := range c.shards {
-			c.rec.Drain(s.Engine.ObsBuffer())
+			buf := s.Engine.ObsBuffer()
+			buf.FlushCounters()
+			c.rec.Drain(buf)
+		}
+	}
+	if c.srec != nil {
+		// Same for series: close every track's open window, then drain.
+		for _, s := range c.shards {
+			buf := s.Engine.SeriesBuffer()
+			buf.Flush()
+			c.srec.Drain(buf)
 		}
 	}
 }
@@ -177,7 +214,7 @@ func (c *Cluster) RunUntil(t time.Duration) {
 // visual form of the idle fraction the metrics count.
 func (c *Cluster) observeWindow(start, end time.Duration) {
 	metricsOn := obs.Enabled()
-	if !metricsOn && c.rec == nil {
+	if !metricsOn && c.rec == nil && c.srec == nil {
 		return
 	}
 	if metricsOn {
@@ -199,6 +236,12 @@ func (c *Cluster) observeWindow(start, end time.Duration) {
 				buf.Complete("window", "shard", start, end-start, 0)
 			}
 			c.rec.Drain(buf)
+		}
+		if c.srec != nil {
+			// Open window aggregates stay in their tracks (a 40 ms
+			// window may span several barriers); only flushed points
+			// move.
+			c.srec.Drain(s.Engine.SeriesBuffer())
 		}
 	}
 }

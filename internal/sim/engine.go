@@ -111,6 +111,12 @@ type Engine struct {
 	// events into. Set by the cluster when a run is traced; nil costs
 	// one pointer load at each emission site.
 	obsBuf *obs.Buffer
+
+	// seriesBuf, when non-nil, is the shard-local series ring the
+	// instrumented subsystems downsample virtual-time signals into. Set
+	// by the cluster when a run records series; nil costs one pointer
+	// load at each track-creation site and one branch per sample.
+	seriesBuf *obs.SeriesBuffer
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -134,6 +140,15 @@ func (e *Engine) SetObsBuffer(b *obs.Buffer) { e.obsBuf = b }
 // ObsBuffer returns the engine's trace ring, nil when the run is not
 // traced. Emission sites must nil-check.
 func (e *Engine) ObsBuffer() *obs.Buffer { return e.obsBuf }
+
+// SetSeriesBuffer attaches (or detaches, with nil) the engine's series
+// ring.
+func (e *Engine) SetSeriesBuffer(b *obs.SeriesBuffer) { e.seriesBuf = b }
+
+// SeriesBuffer returns the engine's series ring, nil when the run
+// records no series. Instrumentation sites must nil-check (a nil
+// buffer's Track returns a nil track, whose Sample is a no-op branch).
+func (e *Engine) SeriesBuffer() *obs.SeriesBuffer { return e.seriesBuf }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero. It returns a handle so the caller may cancel the event.

@@ -1,0 +1,324 @@
+package sweep
+
+import (
+	"math"
+
+	"pbecc/internal/obs"
+)
+
+// Trajectory analytics: the time-domain half of the sweep's evaluation.
+// The paper's central claims are trajectory claims - PBE-CC converges to
+// new wireless capacity in about one RTT and tracks it tightly thereafter
+// (Figs. 6-9) - which end-of-run scalars cannot capture: a scheme could
+// converge ten times slower with the same mean throughput. The analytics
+// below reduce a job's recorded series (see internal/obs series layer) to
+// four scalars that the baseline diff gates exactly like throughput.
+//
+// Everything works on the common 40 ms window grid (obs.SeriesWindow),
+// indexed from window 0 = run start. The rate trajectory is derived from
+// the "cc.ack_bits" series - acked bits per window over the window length
+// - because it is defined for every scheme: pure-window schemes like
+// cubic report no pacing rate, but every scheme delivers bytes.
+
+// windowSec is obs.SeriesWindow in seconds, the grid step of every
+// trajectory.
+const windowSec = float64(obs.SeriesWindow) / 1e9
+
+const (
+	// convFrac defines "converged": the first window that delivers at
+	// least this fraction of that window's measured capacity. The test is
+	// against the moving truth, not a flat plateau - a capacity-tracking
+	// scheme's delivery fluctuates exactly as much as the channel does,
+	// and a flat band would reward the low-pass filtering of a standing
+	// queue (bufferbloat) over genuine tracking. 0.7 sits safely under
+	// the ~0.85 per-window utilization the well-behaved schemes sustain,
+	// so per-window variance does not un-converge them, while slow-start
+	// and AIMD ramps sit well below it for their whole climb.
+	convFrac = 0.7
+
+	// stepRefWin/stepJumpFrac define a detectable capacity step: the mean
+	// truth over 8 windows (320 ms) moves by at least 60%. The thresholds
+	// are deliberately coarse - fading on a nominally steady channel
+	// produces 40% multi-window swings, while the steps worth measuring
+	// from (blockage, handover, a synthetic test step) at least halve or
+	// double the capacity.
+	stepRefWin   = 8
+	stepJumpFrac = 0.6
+
+	// maxLagWin bounds the tracking-lag search to 32 windows (1.28 s):
+	// beyond that, "lag" is indistinguishable from not tracking at all.
+	maxLagWin = 32
+
+	// recoverRefWin/recoverFrac/recoverHold define fault recovery: back to
+	// recoverFrac of the mean rate over the recoverRefWin windows before
+	// the injection, held for recoverHold consecutive windows.
+	recoverRefWin = 5
+	recoverFrac   = 0.9
+	recoverHold   = 2
+)
+
+// Trajectory is one job's measured-flow trajectories on the 40 ms window
+// grid: index w covers virtual time [w*40ms, (w+1)*40ms). Zero means "no
+// data in that window" (e.g. truth before the first scheduling slot).
+// Fields are exported so the synthetic-input tests can construct known
+// shapes directly.
+type Trajectory struct {
+	Rate  []float64 // achieved delivery rate, Mbit/s (acked bits / window)
+	Truth []float64 // oracle capacity, Mbit/s (window mean)
+	Est   []float64 // transport's capacity estimate, Mbit/s (monitor schemes)
+
+	// FaultWins lists the window indices containing at least one injected
+	// fault, sorted and deduplicated.
+	FaultWins []int
+}
+
+// BuildTrajectory reduces a run's recorded series to the measured flow's
+// trajectory: flowID keys the cc sender's tracks, ueID the capacity
+// tracks (the probe and truth oracle sample per UE).
+func BuildTrajectory(rec *obs.SeriesRecorder, flowID, ueID int) *Trajectory {
+	if rec == nil {
+		return &Trajectory{}
+	}
+	rate := rec.TrackPoints("cc.ack_bits", flowID)
+	truth := rec.TrackPoints("monitor.truth", ueID)
+	est := rec.TrackPoints("monitor.est", ueID)
+	var n int64
+	for _, pts := range [][]obs.SeriesPoint{rate, truth, est} {
+		for _, p := range pts {
+			if p.Win+1 > n {
+				n = p.Win + 1
+			}
+		}
+	}
+	t := &Trajectory{
+		Rate:  make([]float64, n),
+		Truth: make([]float64, n),
+		Est:   make([]float64, n),
+	}
+	for _, p := range rate {
+		t.Rate[p.Win] = p.Sum() / windowSec / 1e6
+	}
+	for _, p := range truth {
+		t.Truth[p.Win] = p.Mean
+	}
+	for _, p := range est {
+		t.Est[p.Win] = p.Mean
+	}
+	last := -1
+	for _, p := range rec.TrackPoints("fault.inject", 0) {
+		if w := int(p.Win); w < int(n) && w != last {
+			t.FaultWins = append(t.FaultWins, w)
+			last = w
+		}
+	}
+	return t
+}
+
+// StepWin locates the capacity step the convergence metric measures from:
+// the window where the mean truth over the stepRefWin windows after it
+// differs most from the mean over the stepRefWin windows before it, if
+// that sustained jump is at least stepJumpFrac; otherwise window 0 - on a
+// steady channel the flow's start is the step, and convergence time is
+// the ramp to capacity. The windowed means matter: per-window capacity
+// fluctuates up to ±30% on a steady channel, so an adjacent-window jump
+// test fires on noise and "detects" a step mid-run where the flow is
+// already converged.
+func (t *Trajectory) StepWin() int {
+	best, bestJump := 0, 0.0
+	for w := stepRefWin; w+stepRefWin <= len(t.Truth); w++ {
+		var pre, post float64
+		ok := true
+		for i := w - stepRefWin; i < w; i++ {
+			if t.Truth[i] <= 0 {
+				ok = false
+				break
+			}
+			pre += t.Truth[i]
+		}
+		for i := w; ok && i < w+stepRefWin; i++ {
+			if t.Truth[i] <= 0 {
+				ok = false
+				break
+			}
+			post += t.Truth[i]
+		}
+		if !ok || pre <= 0 {
+			continue
+		}
+		if jump := math.Abs(post-pre) / pre; jump > bestJump {
+			best, bestJump = w, jump
+		}
+	}
+	if bestJump < stepJumpFrac {
+		return 0
+	}
+	return best
+}
+
+// ConvergenceMs returns the time from the capacity step until the flow
+// first delivers convFrac of that window's measured capacity, in
+// milliseconds - exact to one window on synthetic steps, and the direct
+// analogue of the paper's Fig. 6 ramp measurements (time from a capacity
+// change until the flow is operating at the new capacity). Windows with
+// no truth sample are skipped (capacity is only defined once the cell has
+// scheduled). A flow that never gets there scores the run's remaining
+// span (the natural worst case, so the baseline diff stays monotone); -1
+// means the metric is undefined (no rate trajectory, e.g. a media
+// measured flow, or no truth trajectory to converge to).
+func (t *Trajectory) ConvergenceMs() float64 {
+	n := len(t.Rate)
+	if len(t.Truth) < n {
+		n = len(t.Truth)
+	}
+	s := t.StepWin()
+	if !t.hasRate() {
+		return -1
+	}
+	anyTruth := false
+	for w := s; w < n; w++ {
+		if t.Truth[w] <= 0 {
+			continue
+		}
+		anyTruth = true
+		if t.Rate[w] >= convFrac*t.Truth[w] {
+			return float64(w-s) * windowSec * 1000
+		}
+	}
+	if !anyTruth {
+		return -1
+	}
+	return float64(n-s) * windowSec * 1000
+}
+
+// TrackingLagMs returns the lag (ms) at which the rate trajectory best
+// correlates with the truth trajectory: the argmax over lags 0..32
+// windows of the Pearson correlation between truth[w] and rate[w+k],
+// smallest lag on ties. -1 when undefined (fewer than 4 common windows,
+// or either trajectory constant at every candidate lag).
+func (t *Trajectory) TrackingLagMs() float64 {
+	n := len(t.Rate)
+	if len(t.Truth) < n {
+		n = len(t.Truth)
+	}
+	if n < 4 || !t.hasRate() {
+		return -1
+	}
+	maxLag := maxLagWin
+	if maxLag > n/2 {
+		maxLag = n / 2
+	}
+	bestLag, bestCorr := -1, math.Inf(-1)
+	for k := 0; k <= maxLag; k++ {
+		m := n - k
+		var mx, my float64
+		for w := 0; w < m; w++ {
+			mx += t.Truth[w]
+			my += t.Rate[w+k]
+		}
+		mx /= float64(m)
+		my /= float64(m)
+		var sxy, sxx, syy float64
+		for w := 0; w < m; w++ {
+			dx, dy := t.Truth[w]-mx, t.Rate[w+k]-my
+			sxy += dx * dy
+			sxx += dx * dx
+			syy += dy * dy
+		}
+		if sxx == 0 || syy == 0 {
+			continue
+		}
+		if corr := sxy / math.Sqrt(sxx*syy); corr > bestCorr {
+			bestCorr, bestLag = corr, k
+		}
+	}
+	if bestLag < 0 {
+		return -1
+	}
+	return float64(bestLag) * windowSec * 1000
+}
+
+// EstErrAUC integrates the relative estimation error over the run: the
+// sum over windows (where both estimate and truth exist) of
+// |est-truth|/truth × 100 × 40 ms, in percent-seconds. Unlike the probe's
+// mean error it weights sustained error by its duration - a 10-second
+// 10%-off stretch scores ten times a 1-second one. -1 when the estimate
+// trajectory is empty (non-monitor schemes).
+func (t *Trajectory) EstErrAUC() float64 {
+	n := len(t.Est)
+	if len(t.Truth) < n {
+		n = len(t.Truth)
+	}
+	auc, any := 0.0, false
+	for w := 0; w < n; w++ {
+		if t.Est[w] > 0 && t.Truth[w] > 0 {
+			any = true
+			auc += math.Abs(t.Est[w]-t.Truth[w]) / t.Truth[w] * 100 * windowSec
+		}
+	}
+	if !any {
+		return -1
+	}
+	return auc
+}
+
+// RecoverMs returns the mean time to recover across fault episodes: for
+// each run of consecutive fault windows, the time from its first window
+// until the rate is back to 90% of its pre-fault reference (the mean over
+// up to 5 windows before the injection) for two consecutive windows. An
+// episode that never recovers scores the run's remaining span. -1 when no
+// episode is measurable (no faults recorded, or no pre-fault baseline).
+func (t *Trajectory) RecoverMs() float64 {
+	n := len(t.Rate)
+	sum, cnt := 0.0, 0
+	prev := -10
+	for _, f := range t.FaultWins {
+		episodeStart := f != prev+1
+		prev = f
+		if !episodeStart || f >= n {
+			continue
+		}
+		ref, refN := 0.0, 0
+		for w := f - recoverRefWin; w < f; w++ {
+			if w >= 0 {
+				ref += t.Rate[w]
+				refN++
+			}
+		}
+		if refN == 0 || ref <= 0 {
+			continue
+		}
+		ref /= float64(refN)
+		rec := float64(n-f) * windowSec * 1000
+		for w := f; w+recoverHold <= n; w++ {
+			held := true
+			for i := w; i < w+recoverHold; i++ {
+				if t.Rate[i] < recoverFrac*ref {
+					held = false
+					break
+				}
+			}
+			if held {
+				rec = float64(w-f) * windowSec * 1000
+				break
+			}
+		}
+		sum += rec
+		cnt++
+	}
+	if cnt == 0 {
+		return -1
+	}
+	return sum / float64(cnt)
+}
+
+// hasRate reports whether any window delivered bytes - the guard that
+// distinguishes "no trajectory recorded" (media measured flows, which do
+// not run the cc sender pump) from a genuinely idle flow.
+func (t *Trajectory) hasRate() bool {
+	for _, v := range t.Rate {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}

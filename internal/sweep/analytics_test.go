@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+// flat returns n copies of v.
+func flat(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// TestConvergenceExactOnSyntheticStep pins the metric's definition on a
+// noiseless input: capacity doubles at window 10, the flow crosses the
+// 70% line at window 15, so convergence is exactly 5 windows = 200 ms.
+func TestConvergenceExactOnSyntheticStep(t *testing.T) {
+	truth := append(flat(10, 50), flat(20, 100)...)
+	rate := append(flat(10, 45), flat(20, 50)...) // tracking the old capacity
+	for w := 15; w < 30; w++ {
+		rate[w] = 95
+	}
+	tr := &Trajectory{Rate: rate, Truth: truth}
+	if s := tr.StepWin(); s != 10 {
+		t.Fatalf("StepWin = %d, want 10", s)
+	}
+	if c := tr.ConvergenceMs(); c != 200 {
+		t.Fatalf("ConvergenceMs = %.0f, want 200 (5 windows after the step)", c)
+	}
+}
+
+// TestConvergenceFromFlowStart: on a steady channel no window pair
+// qualifies as a step, so the ramp is measured from window 0 - a linear
+// climb crosses 70% of a flat 100 at window 6 (rate 70), i.e. 240 ms.
+func TestConvergenceFromFlowStart(t *testing.T) {
+	truth := flat(30, 100)
+	rate := make([]float64, 30)
+	for w := range rate {
+		rate[w] = 10 * float64(w+1)
+		if rate[w] > 100 {
+			rate[w] = 100
+		}
+	}
+	tr := &Trajectory{Rate: rate, Truth: truth}
+	if s := tr.StepWin(); s != 0 {
+		t.Fatalf("StepWin = %d on a steady channel, want 0", s)
+	}
+	if c := tr.ConvergenceMs(); c != 240 {
+		t.Fatalf("ConvergenceMs = %.0f, want 240", c)
+	}
+}
+
+// TestConvergenceNeverScoresRemainingSpan: a flow stuck at half capacity
+// scores the whole remaining span rather than an undefined sentinel, so
+// the baseline diff stays monotone (slower is strictly worse).
+func TestConvergenceNeverScoresRemainingSpan(t *testing.T) {
+	tr := &Trajectory{Rate: flat(25, 50), Truth: flat(25, 100)}
+	if c := tr.ConvergenceMs(); c != 25*40 {
+		t.Fatalf("ConvergenceMs = %.0f, want %d", c, 25*40)
+	}
+}
+
+// TestTrackingLagFindsShiftedCopy: the rate is an exact 3-window-delayed
+// copy of a varying truth signal, so the correlation peak - and the
+// reported lag - must sit at exactly 120 ms.
+func TestTrackingLagFindsShiftedCopy(t *testing.T) {
+	const n, shift = 64, 3
+	truth := make([]float64, n)
+	for w := range truth {
+		truth[w] = 60 + 30*math.Sin(float64(w)/2.5) + 10*math.Sin(float64(w)/7)
+	}
+	rate := make([]float64, n)
+	for w := range rate {
+		if w >= shift {
+			rate[w] = truth[w-shift]
+		} else {
+			rate[w] = truth[0]
+		}
+	}
+	tr := &Trajectory{Rate: rate, Truth: truth}
+	if lag := tr.TrackingLagMs(); lag != shift*40 {
+		t.Fatalf("TrackingLagMs = %.0f, want %d", lag, shift*40)
+	}
+	// A perfect zero-lag tracker must report zero, not a tie broken high.
+	tr0 := &Trajectory{Rate: truth, Truth: truth}
+	if lag := tr0.TrackingLagMs(); lag != 0 {
+		t.Fatalf("TrackingLagMs = %.0f for an exact copy, want 0", lag)
+	}
+}
+
+// TestRecoverMsEpisode: one fault episode at windows 20-22, rate crushed
+// until window 27 and back above 90% of the pre-fault mean from window
+// 28 - recovery is exactly 8 windows = 320 ms.
+func TestRecoverMsEpisode(t *testing.T) {
+	rate := flat(35, 100)
+	for w := 20; w < 28; w++ {
+		rate[w] = 10
+	}
+	tr := &Trajectory{Rate: rate, Truth: flat(35, 120), FaultWins: []int{20, 21, 22}}
+	if r := tr.RecoverMs(); r != 320 {
+		t.Fatalf("RecoverMs = %.0f, want 320", r)
+	}
+}
+
+// TestEstErrAUCIntegratesDuration: a constant 10% error over 25 windows
+// integrates to 10% x 1 second = 10 percent-seconds; halving the span
+// halves the area.
+func TestEstErrAUCIntegratesDuration(t *testing.T) {
+	tr := &Trajectory{Est: flat(25, 90), Truth: flat(25, 100)}
+	if a := tr.EstErrAUC(); math.Abs(a-10) > 1e-9 {
+		t.Fatalf("EstErrAUC = %.3f, want 10", a)
+	}
+	half := &Trajectory{Est: flat(25, 90), Truth: append(flat(12, 100), flat(13, 0)...)}
+	ha := half.EstErrAUC()
+	if math.Abs(ha-4.8) > 1e-9 {
+		t.Fatalf("EstErrAUC over 12 windows = %.3f, want 4.8", ha)
+	}
+}
+
+// TestAnalyticsSentinels: every metric reports -1 on trajectories it is
+// undefined for, never a fake zero (zero is an excellent real score).
+func TestAnalyticsSentinels(t *testing.T) {
+	empty := &Trajectory{}
+	if c := empty.ConvergenceMs(); c != -1 {
+		t.Fatalf("ConvergenceMs on empty = %.0f, want -1", c)
+	}
+	if l := empty.TrackingLagMs(); l != -1 {
+		t.Fatalf("TrackingLagMs on empty = %.0f, want -1", l)
+	}
+	if a := empty.EstErrAUC(); a != -1 {
+		t.Fatalf("EstErrAUC on empty = %.0f, want -1", a)
+	}
+	if r := empty.RecoverMs(); r != -1 {
+		t.Fatalf("RecoverMs on empty = %.0f, want -1", r)
+	}
+	// Rate but no truth: nothing to converge to.
+	noTruth := &Trajectory{Rate: flat(20, 50), Truth: flat(20, 0)}
+	if c := noTruth.ConvergenceMs(); c != -1 {
+		t.Fatalf("ConvergenceMs without truth = %.0f, want -1", c)
+	}
+	// Faults but no pre-fault traffic: no recovery reference.
+	noRef := &Trajectory{Rate: flat(20, 0), FaultWins: []int{5}}
+	if r := noRef.RecoverMs(); r != -1 {
+		t.Fatalf("RecoverMs without reference = %.0f, want -1", r)
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -88,6 +89,28 @@ func Diff(base, cur *Result) ([]Delta, error) {
 			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, false))
 			deltas = append(deltas, d)
 		}
+		// Trajectory analytics regress like throughput: a scheme that
+		// converges or recovers slower, or lags the capacity signal
+		// further, fails the gate even when its mean throughput holds.
+		trajPairs := []struct {
+			name      string
+			base, cur *Metric
+		}{
+			{"conv_ms.mean", bs.Conv, cs.Conv},
+			{"track_lag_ms.mean", bs.TrackLag, cs.TrackLag},
+			{"recover_ms.mean", bs.Recover, cs.Recover},
+		}
+		for _, p := range trajPairs {
+			if (p.base == nil) != (p.cur == nil) {
+				return nil, fmt.Errorf("group %s has %s on only one side (regenerate the baseline)", k, p.name)
+			}
+			if p.base == nil {
+				continue
+			}
+			d := Delta{Group: k, Metric: p.name, Base: p.base.Mean, Cur: p.cur.Mean}
+			d.RegressPct = stats.Round2(regressPct(d.Base, d.Cur, false))
+			deltas = append(deltas, d)
+		}
 	}
 	for k := range bi {
 		if !seen[k] {
@@ -95,6 +118,17 @@ func Diff(base, cur *Result) ([]Delta, error) {
 		}
 	}
 	return deltas, nil
+}
+
+// SpecHash returns the sha256 of the spec's canonical JSON encoding with
+// the cosmetic Name field excluded - the same identity checkSameSpec
+// compares structurally. pbesweep stamps it into the -obs snapshot
+// header so a stale .obs.json cannot be diffed against a snapshot from a
+// different matrix.
+func SpecHash(s Spec) string {
+	s.Name = ""
+	j, _ := json.Marshal(s)
+	return fmt.Sprintf("%x", sha256.Sum256(j))
 }
 
 // checkSameSpec errors unless the two specs describe the same matrix. The

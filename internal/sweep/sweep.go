@@ -236,6 +236,17 @@ type Row struct {
 	// harness.FlowResult.PBEErrPct).
 	PBEErrPct float64 `json:"pbe_err_pct,omitempty"`
 
+	// Trajectory analytics (see analytics.go), derived from the job's
+	// recorded series. ConvMs, TrackLagMs and RecoverMs carry -1 when
+	// undefined (media measured flows have no cc sender pump; RecoverMs
+	// needs a fault axis and a measurable pre-fault baseline) - a zero
+	// would be a real, excellent score, so absence must be explicit.
+	// EstAUC appears for monitor-consuming schemes only.
+	ConvMs     float64 `json:"conv_ms"`
+	TrackLagMs float64 `json:"track_lag_ms"`
+	RecoverMs  float64 `json:"recover_ms"`
+	EstAUC     float64 `json:"est_err_auc,omitempty"`
+
 	// Fluid-tier accounting, present when the job ran a fluid background
 	// population: its size and mean offered load (Mbit/s).
 	FluidSessions    int     `json:"fluid_sessions,omitempty"`
@@ -283,6 +294,14 @@ type Summary struct {
 	// keyed on the scheme, not on the data, so it is deterministic across
 	// runs.
 	PBEErr *Metric `json:"pbe_err_pct,omitempty"`
+
+	// Conv/TrackLag hold the trajectory distributions for groups whose
+	// measured flow has a rate trajectory (bulk flows; nil for media
+	// groups, whose rows carry the -1 sentinel). Recover appears for
+	// fault groups with measurable recovery episodes.
+	Conv     *Metric `json:"conv_ms,omitempty"`
+	TrackLag *Metric `json:"track_lag_ms,omitempty"`
+	Recover  *Metric `json:"recover_ms,omitempty"`
 }
 
 // FrameSummary is the frame-level half of a media group's summary.
@@ -368,6 +387,11 @@ func runJob(spec *Spec, j Job) Row {
 		// Jobs() validated this combination already.
 		panic(fmt.Sprintf("sweep: job %d became unbuildable: %v", j.Index, err))
 	}
+	// Series recording is unconditional: rows are byte-identical with the
+	// series layer on or off (the determinism tests pin this), so keeping
+	// it on means the trajectory fields exist for every row and the -obs
+	// determinism gate still holds.
+	sc.Series = true
 	res := harness.Run(sc)
 	f := res.Flows[0]
 	row := Row{
@@ -399,6 +423,20 @@ func runJob(spec *Spec, j Job) Row {
 		row.FluidSessions = res.Fluid.Sessions
 		row.FluidOfferedMbps = stats.Round2(res.Fluid.OfferedMbps(sc.Duration))
 	}
+	traj := BuildTrajectory(res.Series, sc.Flows[0].ID, sc.Flows[0].UE)
+	row.ConvMs = stats.Round2(traj.ConvergenceMs())
+	row.TrackLagMs = stats.Round2(traj.TrackingLagMs())
+	row.RecoverMs = -1
+	if j.FaultAxis != "" {
+		if rec := traj.RecoverMs(); rec >= 0 {
+			row.RecoverMs = stats.Round2(rec)
+		}
+	}
+	if harness.SchemeUsesMonitor(j.Scheme) {
+		if auc := traj.EstErrAUC(); auc >= 0 {
+			row.EstAUC = stats.Round2(auc)
+		}
+	}
 	return row
 }
 
@@ -409,6 +447,7 @@ func Summarize(rows []Row) []Summary {
 		tput, p95, util        stats.Series
 		frameP95, freeze, late stats.Series
 		pbeErr                 stats.Series
+		conv, lag, recover     stats.Series
 		jobs                   int
 		media                  bool
 	}
@@ -445,6 +484,18 @@ func Summarize(rows []Row) []Summary {
 		if harness.SchemeUsesMonitor(r.Scheme) {
 			a.pbeErr.Add(r.PBEErrPct)
 		}
+		// Trajectory metrics aggregate only defined rows (-1 is the
+		// "no rate trajectory" sentinel); which rows are defined is a
+		// pure function of the spec, so presence stays deterministic.
+		if r.ConvMs >= 0 {
+			a.conv.Add(r.ConvMs)
+		}
+		if r.TrackLagMs >= 0 {
+			a.lag.Add(r.TrackLagMs)
+		}
+		if r.RecoverMs >= 0 {
+			a.recover.Add(r.RecoverMs)
+		}
 	}
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
@@ -470,6 +521,18 @@ func Summarize(rows []Row) []Summary {
 			m := metricOf(&a.pbeErr)
 			s.PBEErr = &m
 		}
+		if a.conv.Len() > 0 {
+			m := metricOf(&a.conv)
+			s.Conv = &m
+		}
+		if a.lag.Len() > 0 {
+			m := metricOf(&a.lag)
+			s.TrackLag = &m
+		}
+		if a.recover.Len() > 0 {
+			m := metricOf(&a.recover)
+			s.Recover = &m
+		}
 		out = append(out, s)
 	}
 	return out
@@ -489,6 +552,24 @@ func Smoke() *Spec {
 		RATs:        []string{harness.RATLTE, harness.RATNR},
 		NoiseLevels: []float64{0, 0.1},
 		DurationMs:  1000,
+	}
+}
+
+// TrajSmoke returns the trajectory CI slice: every scheme, both RATs, on
+// the steady step scenario (the flow start is the capacity step), two
+// seconds per job - long enough that slow-start ramps and tracking lags
+// land well inside the run. Its baseline commits the paper's qualitative
+// convergence ranking: pbe and pbertc reach capacity faster than the
+// end-to-end schemes, and the diff gate fails CI if that ordering decays
+// into a regression.
+func TrajSmoke() *Spec {
+	return &Spec{
+		Name:        "traj",
+		Experiments: []string{"steady"},
+		Schemes:     append([]string(nil), harness.Schemes...),
+		Seeds:       []int64{1, 2},
+		RATs:        []string{harness.RATLTE, harness.RATNR},
+		DurationMs:  2000,
 	}
 }
 

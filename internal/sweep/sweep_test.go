@@ -205,6 +205,19 @@ func TestDiffRejectsMismatchedSpecs(t *testing.T) {
 	}
 }
 
+func TestSpecHashNameInsensitiveAxisSensitive(t *testing.T) {
+	a := Spec{Name: "a", Experiments: []string{"steady"}, Schemes: []string{"pbe"}, Seeds: []int64{1}, DurationMs: 1000}
+	b := a
+	b.Name = "renamed"
+	if SpecHash(a) != SpecHash(b) {
+		t.Fatal("rename changed the spec hash")
+	}
+	b.DurationMs = 2000
+	if SpecHash(a) == SpecHash(b) {
+		t.Fatal("differing duration_ms hashed identically")
+	}
+}
+
 func TestSmokeSpecSatisfiesGate(t *testing.T) {
 	jobs, err := Smoke().Jobs()
 	if err != nil {

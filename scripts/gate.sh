@@ -11,12 +11,15 @@
 #   obs-det        metro slice, -obs vs plain             -> metro_obs.json
 #   scorecard-det  robustness scorecard, workers 1 vs 8   -> BENCH_SCORECARD_PR.json
 #   nation-det     nation slice, shards 1 vs 8            -> BENCH_NATION_PR.json
+#   series-det     trajectory slice, workers 1 vs 8       -> BENCH_TRAJ_PR.json
+#   report-det     pbereport figure, two renders + docs/  -> report_run.svg
 #
 # Regression gates (against the committed baselines):
 #   smoke-diff     BENCH_baseline.json           vs BENCH_PR.json        (>10% fails)
 #   metro-diff     BENCH_metro_baseline.json     vs BENCH_METRO_PR.json  (>10% fails)
 #   nation-diff    BENCH_nation_baseline.json    vs BENCH_NATION_PR.json (>10% fails)
 #   scorecard-diff BENCH_scorecard_baseline.json vs BENCH_SCORECARD_PR.json (>5 points fails)
+#   traj-diff      BENCH_traj_baseline.json      vs BENCH_TRAJ_PR.json   (>10% fails)
 #
 # Timing budget:
 #   budget         sum the wall-clock of every gate run so far and fail
@@ -79,12 +82,35 @@ gate_nation_det() {
   cmp nation1.json BENCH_NATION_PR.json
 }
 
+# The trajectory slice gates the series layer end to end: every row's
+# convergence/tracking-lag/recovery fields are derived from the recorded
+# series, so byte equality across worker widths proves the series merge
+# order is deterministic. (Shard-width determinism of the raw series CSV
+# is the TestSeriesByteIdenticalAcrossShards property test.)
+gate_series_det() {
+  sweep -traj-smoke -workers 1 -out traj1.json
+  sweep -traj-smoke -workers 8 -out BENCH_TRAJ_PR.json
+  cmp traj1.json BENCH_TRAJ_PR.json
+}
+
+# The report figure must be a pure function of the scenario: two renders
+# byte-identical, and both identical to the committed docs/ example (a
+# drifting example means the docs lie about what the code produces).
+gate_report_det() {
+  go run ./cmd/pbereport -schemes pbe,cubic,pbertc -out report_run.svg -csv report_run.csv
+  go run ./cmd/pbereport -schemes pbe,cubic,pbertc -out report_run2.svg
+  cmp report_run.svg report_run2.svg
+  cmp report_run.svg docs/report_steady.svg
+  cmp report_run.csv docs/report_steady.csv
+}
+
 gate_smoke_diff()  { sweep -diff -max-regress 10 BENCH_baseline.json BENCH_PR.json; }
 gate_metro_diff()  { sweep -diff -max-regress 10 BENCH_metro_baseline.json BENCH_METRO_PR.json; }
 gate_nation_diff() { sweep -diff -max-regress 10 BENCH_nation_baseline.json BENCH_NATION_PR.json; }
 # Budget is percentage points of mean fault degradation per scheme (and
 # percent for the clean throughput it is normalized against).
 gate_scorecard_diff() { sweep -scorecard-diff -max-regress 5 BENCH_scorecard_baseline.json BENCH_SCORECARD_PR.json; }
+gate_traj_diff()      { sweep -diff -max-regress 10 BENCH_traj_baseline.json BENCH_TRAJ_PR.json; }
 
 gate_budget() {
   if [ ! -f "$TIMES_FILE" ]; then
