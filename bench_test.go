@@ -71,7 +71,7 @@ func BenchmarkNRSlotScheduling(b *testing.B) {
 		for u := 0; u < 4; u++ {
 			ue := nr.NewUE(eng, u, uint16(61+u))
 			ue.AddCell(cell, phy.NewStaticChannel(-85, cell.Table, nil))
-			ue.SetDefaultHandler(&netsim.Sink{})
+			ue.SetDefaultHandler(&netsim.Sink{Pool: netsim.PoolOf(eng)})
 			netsim.NewCrossTraffic(eng, ue, 400e6, u+1).Start()
 		}
 		eng.RunUntil(time.Second)
@@ -135,6 +135,7 @@ func benchMetro(b *testing.B, shards int) {
 func BenchmarkMetro1Shard(b *testing.B)  { benchMetro(b, 1) }
 func BenchmarkMetro2Shards(b *testing.B) { benchMetro(b, 2) }
 func BenchmarkMetro4Shards(b *testing.B) { benchMetro(b, 4) }
+func BenchmarkMetro8Shards(b *testing.B) { benchMetro(b, 8) }
 
 // BenchmarkMetroSmokeSlice is the CI-sized metro (8 cells, 128 UEs), the
 // unit the metro determinism gate and BENCH_metro_baseline.json track.

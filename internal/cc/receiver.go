@@ -26,6 +26,7 @@ type Receiver struct {
 	FlowID   int
 	ackPath  netsim.Handler
 	Feedback FeedbackSource
+	pool     *netsim.PacketPool
 
 	// OnData observes every received data packet with its one-way delay
 	// (used by experiment instrumentation).
@@ -39,7 +40,7 @@ type Receiver struct {
 // NewReceiver wires a receiver whose ACKs travel through ackPath back to
 // the sender.
 func NewReceiver(eng *sim.Engine, flowID int, ackPath netsim.Handler) *Receiver {
-	return &Receiver{eng: eng, FlowID: flowID, ackPath: ackPath}
+	return &Receiver{eng: eng, FlowID: flowID, ackPath: ackPath, pool: netsim.PoolOf(eng)}
 }
 
 // HandlePacket implements netsim.Handler for data packets released by the
@@ -54,23 +55,26 @@ func (r *Receiver) HandlePacket(now time.Duration, p *netsim.Packet) {
 	if r.OnData != nil {
 		r.OnData(now, p, owd)
 	}
-	ack := &netsim.Packet{
-		FlowID: r.FlowID,
-		Seq:    p.Seq,
-		Size:   AckBytes,
-		SentAt: now,
-		IsAck:  true,
-		Ack: netsim.AckInfo{
-			AckSeq:     p.Seq,
-			DataSentAt: p.SentAt,
-			ReceivedAt: now,
-			DataSize:   p.Size,
-		},
+	ack := r.pool.Get()
+	ack.FlowID = r.FlowID
+	ack.Seq = p.Seq
+	ack.Size = AckBytes
+	ack.SentAt = now
+	ack.IsAck = true
+	ack.Ack = netsim.AckInfo{
+		AckSeq:     p.Seq,
+		DataSentAt: p.SentAt,
+		ReceivedAt: now,
+		DataSize:   p.Size,
 	}
 	if r.Feedback != nil {
 		rate, btl := r.Feedback.Feedback(now, owd, p.Size)
 		ack.Ack.FeedbackRate = rate
 		ack.Ack.InternetBottleneck = btl
 	}
+	// The receiver consumes the data packet: OnData observers have
+	// returned and the jitter-buffer path copies what it keeps, so this
+	// is the release point for the downstream data path.
+	r.pool.Release(p)
 	r.ackPath.HandlePacket(now, ack)
 }

@@ -44,9 +44,10 @@ type Sender struct {
 	mss    int
 
 	nextSeq       uint64
-	sent          map[uint64]*sentPkt
+	sent          map[uint64]sentPkt
 	order         []uint64
 	inflightBytes int
+	pool          *netsim.PacketPool
 
 	delivered   uint64 // total bytes acked
 	deliveredAt time.Duration
@@ -122,7 +123,8 @@ func NewSender(eng *sim.Engine, flowID int, out netsim.Handler, ctrl Controller)
 		out:    out,
 		ctrl:   ctrl,
 		mss:    netsim.MSS,
-		sent:   make(map[uint64]*sentPkt),
+		sent:   make(map[uint64]sentPkt),
+		pool:   netsim.PoolOf(eng),
 	}
 	s.pumpFn = s.pump
 	return s
@@ -216,12 +218,13 @@ func (s *Sender) sendOne(now time.Duration) int {
 			return 0
 		}
 	} else {
-		p = &netsim.Packet{Size: s.mss}
+		p = s.pool.Get()
+		p.Size = s.mss
 	}
 	s.nextSeq++
 	seq := s.nextSeq
 	p.FlowID, p.Seq, p.SentAt = s.FlowID, seq, now
-	s.sent[seq] = &sentPkt{
+	s.sent[seq] = sentPkt{
 		seq:                 seq,
 		bytes:               p.Size,
 		sentAt:              now,
@@ -239,7 +242,10 @@ func (s *Sender) sendOne(now time.Duration) int {
 }
 
 // HandlePacket processes acknowledgements arriving from the receiver.
+// The sender is the terminal owner of everything delivered to it, so the
+// packet is released on every path.
 func (s *Sender) HandlePacket(now time.Duration, p *netsim.Packet) {
+	defer s.pool.Release(p)
 	if !p.IsAck {
 		return
 	}

@@ -111,6 +111,7 @@ type cellTrack struct {
 	myRateN     int
 
 	users map[uint16]*userTrack
+	seen  map[uint16]int // per-ingest scratch, cleared each OnSubframe
 }
 
 type subframeSample struct {
@@ -158,6 +159,7 @@ func (m *Monitor) AttachCell(info CellInfo) {
 		spf:   spf,
 		ring:  make([]subframeSample, m.Window*spf),
 		users: make(map[uint16]*userTrack),
+		seen:  make(map[uint16]int),
 	}
 }
 
@@ -207,8 +209,12 @@ func (m *Monitor) OnSubframe(rep *lte.SubframeReport) {
 		}
 	}
 
-	s := subframeSample{idle: rep.IdlePRBs()}
-	seen := map[uint16]int{}
+	// The evicted slot is the one being overwritten, so its allocs
+	// capacity can be reused for the incoming sample. Per-user PRB sums
+	// are order-independent, so ranging the scratch map is safe.
+	s := subframeSample{idle: rep.IdlePRBs(), allocs: ct.ring[ct.next].allocs[:0]}
+	seen := ct.seen
+	clear(seen)
 	for i := range rep.Allocs {
 		a := &rep.Allocs[i]
 		if a.RNTI == m.RNTI {

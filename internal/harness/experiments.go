@@ -357,7 +357,7 @@ func Figure5(quick bool) []Table {
 		u := lte.NewUE(eng, id, rnti)
 		u.AddCell(cell, phy.NewStaticChannel(-93, phy.Table64QAM, nil))
 		u.SetCarrierAggregation(false)
-		u.SetDefaultHandler(&netsim.Sink{})
+		u.SetDefaultHandler(&netsim.Sink{Pool: netsim.PoolOf(eng)})
 		u.Start()
 		return u
 	}
@@ -392,7 +392,7 @@ func Figure6a(quick bool) []Table {
 			ue := lte.NewUE(eng, 1, 61)
 			ue.AddCell(cell, phy.NewStaticChannel(rssi, phy.Table64QAM, nil))
 			ue.SetCarrierAggregation(false)
-			ue.SetDefaultHandler(&netsim.Sink{})
+			ue.SetDefaultHandler(&netsim.Sink{Pool: netsim.PoolOf(eng)})
 			ue.Start()
 			src := netsim.NewCrossTraffic(eng, ue, load*1e6, 1)
 			src.Start()

@@ -57,9 +57,27 @@ type Cell struct {
 	pendingRetx map[int][]*transportBlock
 	rng         *rand.Rand
 	ticker      *sim.Ticker
+	pool        *netsim.PacketPool
 
 	nRBG    int
 	rbgSize int
+
+	// Per-subframe scratch, reused across ticks (DESIGN.md section 12):
+	// one SubframeReport per cell whose Allocs slice is resliced each
+	// subframe (monitor consumers copy what they keep), the water-fill
+	// inputs, and a transport-block free list. deliveries is the
+	// coalesced TB-delivery queue: instead of one event per transport
+	// block, the cell schedules a single pre-bound delivery event per
+	// subframe that drains the queue in transmit order at the next
+	// subframe boundary.
+	rep          *SubframeReport
+	blUsers      []*cellUser
+	wants        []int
+	wf           WaterFiller
+	tbFree       []*transportBlock
+	deliveries   []tbDelivery
+	deliverArmed bool
+	deliverFn    func()
 
 	// PerUserQueueBytes caps each user's downlink queue; packets beyond
 	// it are dropped at enqueue (drop-tail). Zero means unbounded.
@@ -87,8 +105,11 @@ type cellUser struct {
 	ue   *UE
 	ch   *phy.Channel
 
+	// queue is the user's downlink queue, indexed from qHead (head-index
+	// dequeue with amortized compaction, retained capacity).
 	queue      []*netsim.Packet
-	headSent   int // bytes of queue[0] already carried in earlier TBs
+	qHead      int
+	headSent   int // bytes of the head packet already carried in earlier TBs
 	queuedBits int
 	nextTB     uint64
 
@@ -109,6 +130,16 @@ type transportBlock struct {
 	mcs       phy.MCS
 }
 
+// tbDelivery is one entry of the cell's coalesced delivery queue: the
+// transport block's outcome, decoupled from the (recycled) block struct.
+// The packets slice transfers to the UE's reorder buffer.
+type tbDelivery struct {
+	ue   *UE
+	seq  uint64
+	pkts []*netsim.Packet
+	ok   bool
+}
+
 // NewCell creates a cell and starts its subframe ticker on the engine.
 // control may be nil for a cell without control-plane chatter.
 func NewCell(eng *sim.Engine, id, nprb int, table phy.CQITable, control ControlSource) *Cell {
@@ -125,6 +156,9 @@ func NewCell(eng *sim.Engine, id, nprb int, table phy.CQITable, control ControlS
 	c.PerUserQueueBytes = DefaultPerUserQueueBytes
 	c.rbgSize = rbgSizeFor(nprb)
 	c.nRBG = (nprb + c.rbgSize - 1) / c.rbgSize
+	c.pool = netsim.PoolOf(eng)
+	c.rep = &SubframeReport{CellID: id, NPRB: nprb}
+	c.deliverFn = c.deliverPending
 	c.ticker = eng.Every(time.Millisecond, c.tick)
 	return c
 }
@@ -163,7 +197,8 @@ func (c *Cell) AttachUser(ue *UE, rnti uint16, ch *phy.Channel) {
 	c.byRNTI[rnti] = u
 }
 
-// DetachUser removes a user; queued packets are dropped.
+// DetachUser removes a user; queued packets are dropped (and released:
+// the cell was their last owner).
 func (c *Cell) DetachUser(rnti uint16) {
 	u, ok := c.byRNTI[rnti]
 	if !ok {
@@ -176,17 +211,24 @@ func (c *Cell) DetachUser(rnti uint16) {
 			break
 		}
 	}
+	c.pool.ReleaseAll(u.queue[u.qHead:])
+	u.queue = u.queue[:0]
+	u.qHead, u.headSent, u.queuedBits = 0, 0, 0
 }
 
 // Enqueue adds a downlink packet to the user's queue at this cell. It
-// reports false if the RNTI is not attached.
+// reports false if the RNTI is not attached. On either false path the
+// packet is dropped - callers never retry a refused packet - so the cell
+// releases it as its last owner.
 func (c *Cell) Enqueue(rnti uint16, p *netsim.Packet) bool {
 	u, ok := c.byRNTI[rnti]
 	if !ok {
+		c.pool.Release(p)
 		return false
 	}
 	if c.PerUserQueueBytes > 0 && u.queuedBits/8+p.Size > c.PerUserQueueBytes {
 		c.QueueDropped++
+		c.pool.Release(p)
 		return false
 	}
 	u.queue = append(u.queue, p)
@@ -253,7 +295,12 @@ func (c *Cell) tick() {
 		u.lastServedBits = 0
 	}
 
-	rep := &SubframeReport{CellID: c.ID, Subframe: c.subframe, NPRB: c.NPRB}
+	// The report struct and its Allocs slice are reused across subframes;
+	// monitor consumers must copy whatever they keep past the callback
+	// (core.Monitor and faults.WrapFeed both do).
+	rep := c.rep
+	rep.Subframe = c.subframe
+	rep.Allocs = rep.Allocs[:0]
 	rbgLeft := c.nRBG
 	cursor := 0
 
@@ -310,8 +357,8 @@ func (c *Cell) tick() {
 	// background users (virtual aggregate sessions, see SetBackground)
 	// join the same water-fill after the packet users, so both tiers
 	// share capacity under one fairness policy.
-	var blUsers []*cellUser
-	var wants []int
+	blUsers := c.blUsers[:0]
+	wants := c.wants[:0]
 	for _, u := range c.users {
 		if u.queuedBits <= 0 || !u.ch.MCS().Valid() {
 			continue
@@ -329,7 +376,8 @@ func (c *Cell) tick() {
 			wants = append(wants, int(float64(bg[i].Bits)/perRBG)+1)
 		}
 	}
-	grants := WaterFill(wants, rbgLeft, c.subframe)
+	c.blUsers, c.wants = blUsers, wants
+	grants := c.wf.Fill(wants, rbgLeft, c.subframe)
 	for i, u := range blUsers {
 		n := grants[i]
 		if n == 0 {
@@ -374,12 +422,20 @@ func (c *Cell) tick() {
 // buildTB drains up to the allocated bits from the user's queue into a new
 // transport block.
 func (c *Cell) buildTB(u *cellUser, rbgs, prbs, bits int, mcs phy.MCS) *transportBlock {
-	tb := &transportBlock{user: u, seq: u.nextTB, rbgs: rbgs, prbs: prbs, bits: bits, mcs: mcs}
+	var tb *transportBlock
+	if n := len(c.tbFree); n > 0 {
+		tb = c.tbFree[n-1]
+		c.tbFree[n-1] = nil
+		c.tbFree = c.tbFree[:n-1]
+	} else {
+		tb = &transportBlock{}
+	}
+	tb.user, tb.seq, tb.rbgs, tb.prbs, tb.bits, tb.mcs = u, u.nextTB, rbgs, prbs, bits, mcs
 	u.nextTB++
 	capBytes := bits / 8
 	served := 0
-	for capBytes > 0 && len(u.queue) > 0 {
-		head := u.queue[0]
+	for capBytes > 0 && u.qHead < len(u.queue) {
+		head := u.queue[u.qHead]
 		rem := head.Size - u.headSent
 		take := rem
 		if take > capBytes {
@@ -390,9 +446,21 @@ func (c *Cell) buildTB(u *cellUser, rbgs, prbs, bits int, mcs phy.MCS) *transpor
 		served += take
 		if u.headSent == head.Size {
 			tb.completed = append(tb.completed, head)
-			u.queue = u.queue[1:]
+			u.queue[u.qHead] = nil
+			u.qHead++
 			u.headSent = 0
 		}
+	}
+	if u.qHead == len(u.queue) {
+		u.queue = u.queue[:0]
+		u.qHead = 0
+	} else if u.qHead > 32 && u.qHead*2 >= len(u.queue) {
+		n := copy(u.queue, u.queue[u.qHead:])
+		for i := n; i < len(u.queue); i++ {
+			u.queue[i] = nil
+		}
+		u.queue = u.queue[:n]
+		u.qHead = 0
 	}
 	u.queuedBits -= served * 8
 	u.lastServedBits += served * 8
@@ -414,22 +482,49 @@ func (c *Cell) transmit(tb *transportBlock) {
 		errored = c.rng.Float64() < phy.TBErrorRate(tb.user.ch.BER(), tb.bits)
 	}
 	if !errored {
-		c.eng.Schedule(time.Millisecond, func() {
-			ue.deliverTB(c.ID, tb.seq, tb.completed, true)
-		})
+		c.queueDelivery(ue, tb, true)
 		return
 	}
 	c.ErrorTBs++
 	tb.attempts++
 	if tb.attempts > MaxRetransmissions {
 		c.LostTBs++
-		c.eng.Schedule(time.Millisecond, func() {
-			ue.deliverTB(c.ID, tb.seq, tb.completed, false)
-		})
+		c.queueDelivery(ue, tb, false)
 		return
 	}
 	retxAt := c.subframe + HARQDelaySubframes
 	c.pendingRetx[retxAt] = append(c.pendingRetx[retxAt], tb)
+}
+
+// queueDelivery appends the block's outcome to the coalesced delivery
+// queue and recycles the block struct (its packets now belong to the
+// queue entry, then to the UE's reorder buffer). The queue is drained by
+// one pre-bound event at the next subframe boundary - scheduled on the
+// first delivery of the tick, so a subframe costs one delivery event no
+// matter how many blocks it carries. Order within the event equals
+// transmit order, exactly the order the per-block events fired in before
+// coalescing; the queue is only appended to during tick, never while
+// draining.
+func (c *Cell) queueDelivery(ue *UE, tb *transportBlock, ok bool) {
+	c.deliveries = append(c.deliveries, tbDelivery{ue: ue, seq: tb.seq, pkts: tb.completed, ok: ok})
+	if !c.deliverArmed {
+		c.deliverArmed = true
+		c.eng.Schedule(time.Millisecond, c.deliverFn)
+	}
+	*tb = transportBlock{}
+	c.tbFree = append(c.tbFree, tb)
+}
+
+// deliverPending hands every queued transport-block outcome to its UE.
+func (c *Cell) deliverPending() {
+	c.deliverArmed = false
+	ds := c.deliveries
+	for i := range ds {
+		d := &ds[i]
+		d.ue.deliverTB(c.ID, d.seq, d.pkts, d.ok)
+		*d = tbDelivery{}
+	}
+	c.deliveries = ds[:0]
 }
 
 // WaterFill distributes capacity RBGs over users with the given demands,
@@ -437,14 +532,39 @@ func (c *Cell) transmit(tb *transportBlock) {
 // in full and the surplus is redistributed. Leftover odd RBGs rotate with
 // the subframe (or NR slot) index so no user position is systematically
 // favored. The NR scheduler in internal/nr shares this policy.
+//
+// WaterFill allocates fresh result storage per call; schedulers on the
+// per-subframe hot path hold a WaterFiller and use Fill, which reuses it.
 func WaterFill(wants []int, capacity, rotate int) []int {
-	grants := make([]int, len(wants))
-	unsat := make([]int, 0, len(wants))
+	var f WaterFiller
+	return f.Fill(wants, capacity, rotate)
+}
+
+// WaterFiller is reusable scratch for WaterFill's policy: Fill returns a
+// grants slice that stays valid until the next Fill call on the same
+// WaterFiller. The zero value is ready to use.
+type WaterFiller struct {
+	grants []int
+	unsat  []int
+}
+
+// Fill is WaterFill with retained storage; see WaterFill for the policy.
+func (f *WaterFiller) Fill(wants []int, capacity, rotate int) []int {
+	if cap(f.grants) < len(wants) {
+		f.grants = make([]int, len(wants))
+		f.unsat = make([]int, 0, len(wants))
+	}
+	grants := f.grants[:len(wants)]
+	for i := range grants {
+		grants[i] = 0
+	}
+	unsat := f.unsat[:0]
 	for i, w := range wants {
 		if w > 0 {
 			unsat = append(unsat, i)
 		}
 	}
+	f.unsat = unsat
 	for capacity > 0 && len(unsat) > 0 {
 		share := capacity / len(unsat)
 		if share == 0 {

@@ -34,6 +34,7 @@ type UE struct {
 	cells    []*Cell
 	channels []*phy.Channel
 	active   int
+	pool     *netsim.PacketPool
 
 	flows       map[int]netsim.Handler
 	defaultFlow netsim.Handler
@@ -78,6 +79,7 @@ func NewUE(eng *sim.Engine, id int, rnti uint16) *UE {
 		eng:        eng,
 		ID:         id,
 		RNTI:       rnti,
+		pool:       netsim.PoolOf(eng),
 		flows:      make(map[int]netsim.Handler),
 		reorder:    make(map[int]*reorderState),
 		caEnabled:  true,
@@ -184,7 +186,10 @@ func (u *UE) deliverTB(cellID int, seq uint64, packets []*netsim.Packet, ok bool
 		st.next++
 		for _, p := range a.packets {
 			if !a.ok {
+				// Lost after exhausting HARQ: the packets never reach a
+				// flow handler, so the reorder buffer is their last owner.
 				u.LostPackets++
+				u.pool.Release(p)
 				continue
 			}
 			u.Delivered++
@@ -200,7 +205,9 @@ func (u *UE) route(p *netsim.Packet) {
 	}
 	if h != nil {
 		h.HandlePacket(u.eng.Now(), p)
+		return
 	}
+	u.pool.Release(p) // no handler: dropped at the UE
 }
 
 // tick runs once per subframe after the cells have scheduled, sampling

@@ -39,9 +39,25 @@ type Link struct {
 	// the packet into xdst's shard through the cluster mailbox.
 	xsrc, xdst *sim.Shard
 
+	// Drop-tail queue, indexed from qHead (head-index dequeue with
+	// amortized compaction instead of an O(n) shift per packet).
 	queue       []*Packet
+	qHead       int
 	queuedBytes int
 	busy        bool
+
+	// Serialization and propagation state for the pre-bound event
+	// functions: exactly one packet serializes at a time (txPkt), and
+	// same-shard propagation is FIFO (constant delay), so deliveries pop
+	// the pending ring in schedule order. Pre-binding txDone/deliver
+	// once removes the two per-packet closures that dominated the metro
+	// allocation profile.
+	txPkt   *Packet
+	txDone  func()
+	pending []*Packet
+	pHead   int
+	deliver func()
+	pool    *PacketPool // src-engine pool: owns queue-full drops
 
 	// Counters for reporting.
 	Delivered  uint64
@@ -56,7 +72,21 @@ type Link struct {
 
 // NewLink returns a link that delivers packets to dst.
 func NewLink(eng *sim.Engine, rateBps float64, delay time.Duration, queueBytes int, dst Handler) *Link {
-	return &Link{eng: eng, RateBps: rateBps, Delay: delay, QueueBytes: queueBytes, dst: dst}
+	l := &Link{eng: eng, RateBps: rateBps, Delay: delay, QueueBytes: queueBytes, dst: dst}
+	l.pool = PoolOf(eng)
+	l.txDone = func() {
+		p := l.txPkt
+		l.txPkt = nil
+		l.Delivered++
+		l.SentBytes += uint64(p.Size)
+		mDelivered.Inc()
+		l.propagate(p)
+		l.transmitNext()
+	}
+	l.deliver = func() {
+		l.dst.HandlePacket(l.eng.Now(), l.popPending())
+	}
+	return l
 }
 
 // NewCrossLink returns a link whose endpoints live on different shards of
@@ -85,13 +115,47 @@ func NewCrossLink(src, dst *sim.Shard, rateBps float64, delay time.Duration, que
 // propagate carries a transmitted packet over the propagation delay to
 // the destination handler, crossing the shard boundary when the link is
 // a cross link.
+//
+// Same-shard propagation is FIFO - the delay is constant per link, so
+// deliveries fire in transmit order - which lets one pre-bound deliver
+// function pop a pending ring instead of allocating a closure per
+// packet. The cross-shard hop keeps its closure: the pending ring would
+// be shared between the sending and receiving shard's windows, which
+// run concurrently.
 func (l *Link) propagate(p *Packet) {
 	if l.xdst != nil {
 		dst := l.xdst
 		l.xsrc.Send(dst, l.Delay, func() { l.dst.HandlePacket(dst.Now(), p) })
 		return
 	}
-	l.eng.Schedule(l.Delay, func() { l.dst.HandlePacket(l.eng.Now(), p) })
+	l.pending = append(l.pending, p)
+	l.eng.Schedule(l.Delay, l.deliver)
+}
+
+// popPending dequeues the oldest in-flight packet, compacting the ring's
+// consumed head once it dominates the slice (amortized O(1), retained
+// capacity).
+func (l *Link) popPending() *Packet {
+	p := l.pending[l.pHead]
+	l.pending[l.pHead] = nil
+	l.pHead++
+	if l.pHead == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.pHead = 0
+	} else if l.pHead > 32 && l.pHead*2 >= len(l.pending) {
+		n := copy(l.pending, l.pending[l.pHead:])
+		clearTail(l.pending, n)
+		l.pending = l.pending[:n]
+		l.pHead = 0
+	}
+	return p
+}
+
+// clearTail nils ps[n:] so compacted slots do not retain packets.
+func clearTail(ps []*Packet, n int) {
+	for i := n; i < len(ps); i++ {
+		ps[i] = nil
+	}
 }
 
 // EnableQueueSeries marks this link as the measured bottleneck of flow
@@ -128,6 +192,7 @@ func (l *Link) Send(p *Packet) {
 		l.Drops++
 		l.DropsBytes += uint64(p.Size)
 		mDropped.Inc()
+		l.pool.Release(p) // drop-tail: the link is the packet's last owner
 		return
 	}
 	l.queue = append(l.queue, p)
@@ -143,33 +208,39 @@ func (l *Link) Send(p *Packet) {
 }
 
 func (l *Link) transmitNext() {
-	if len(l.queue) == 0 {
+	if l.qHead == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.qHead = 0
 		l.busy = false
 		return
 	}
 	l.busy = true
-	p := l.queue[0]
-	copy(l.queue, l.queue[1:])
-	l.queue = l.queue[:len(l.queue)-1]
+	p := l.queue[l.qHead]
+	l.queue[l.qHead] = nil
+	l.qHead++
+	if l.qHead > 32 && l.qHead*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.qHead:])
+		clearTail(l.queue, n)
+		l.queue = l.queue[:n]
+		l.qHead = 0
+	}
 	l.queuedBytes -= p.Size
 	l.queueTrack.Sample(l.eng.Now(), float64(l.queuedBytes)/1e3)
 
 	txTime := time.Duration(float64(p.Size*8) / l.RateBps * float64(time.Second))
-	l.eng.Schedule(txTime, func() {
-		l.Delivered++
-		l.SentBytes += uint64(p.Size)
-		mDelivered.Inc()
-		l.propagate(p)
-		l.transmitNext()
-	})
+	l.txPkt = p
+	l.eng.Schedule(txTime, l.txDone)
 }
 
 // Sink counts delivered packets and optionally forwards them to a callback,
-// for tests and simple receivers.
+// for tests and simple receivers. A Sink with Pool set is a terminal
+// consumer: it releases each pooled packet after Fn returns, so Fn must
+// not retain the packet past the call (hold a PacketHandle instead).
 type Sink struct {
 	Count uint64
 	Bytes uint64
 	Fn    func(now time.Duration, p *Packet)
+	Pool  *PacketPool
 }
 
 // HandlePacket implements Handler.
@@ -178,6 +249,9 @@ func (s *Sink) HandlePacket(now time.Duration, p *Packet) {
 	s.Bytes += uint64(p.Size)
 	if s.Fn != nil {
 		s.Fn(now, p)
+	}
+	if s.Pool != nil {
+		s.Pool.Release(p)
 	}
 }
 
@@ -207,14 +281,15 @@ func (c *CrossTraffic) Start() {
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	pool := PoolOf(c.eng)
 	c.ticker = c.eng.Every(interval, func() {
 		c.seq++
-		c.dst.HandlePacket(c.eng.Now(), &Packet{
-			FlowID: c.flowID,
-			Seq:    c.seq,
-			Size:   MSS,
-			SentAt: c.eng.Now(),
-		})
+		p := pool.Get()
+		p.FlowID = c.flowID
+		p.Seq = c.seq
+		p.Size = MSS
+		p.SentAt = c.eng.Now()
+		c.dst.HandlePacket(c.eng.Now(), p)
 	})
 }
 

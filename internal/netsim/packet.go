@@ -38,6 +38,16 @@ type Packet struct {
 	// belongs to, the frame's total size for receiver-side reassembly,
 	// and the capture timestamp for deadline metrics.
 	Media MediaInfo
+
+	// Pool bookkeeping (see pool.go). pool is the free list the packet
+	// returns to on release, nil for packets allocated outside a pool
+	// (their release is a no-op and the GC owns them). gen increments at
+	// every release, invalidating outstanding PacketHandles; pooled
+	// marks a packet currently sitting in a free list, making a double
+	// release detectable.
+	pool   *PacketPool
+	gen    uint64
+	pooled bool
 }
 
 // MediaInfo is the RTP-like per-packet media metadata. A packet is a media

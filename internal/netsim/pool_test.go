@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"testing"
+
+	"pbecc/internal/sim"
+)
+
+// TestPacketPoolReuse: released packets come back zeroed, and the pool
+// actually reuses them instead of allocating.
+func TestPacketPoolReuse(t *testing.T) {
+	eng := sim.New(1)
+	pool := PoolOf(eng)
+	if PoolOf(eng) != pool {
+		t.Fatal("PoolOf must return the engine's one pool")
+	}
+	p := pool.Get()
+	p.FlowID, p.Seq, p.Size, p.IsAck = 7, 42, MSS, true
+	pool.Release(p)
+	q := pool.Get()
+	if q != p {
+		t.Fatal("expected the released packet back")
+	}
+	if q.FlowID != 0 || q.Seq != 0 || q.Size != 0 || q.IsAck {
+		t.Fatalf("reused packet not zeroed: %+v", q)
+	}
+}
+
+// TestPacketHandleGoesStale is the generation guard: a handle taken
+// before release must deterministically report dead afterwards - even
+// once the packet has been recycled into an unrelated transmission - so
+// a holder can never alias the new owner's packet.
+func TestPacketHandleGoesStale(t *testing.T) {
+	eng := sim.New(1)
+	pool := PoolOf(eng)
+	p := pool.Get()
+	h := HandleOf(p)
+	if !h.Live() || h.Packet() != p {
+		t.Fatal("fresh handle must be live")
+	}
+	pool.Release(p)
+	if h.Live() || h.Packet() != nil {
+		t.Fatal("handle must go stale at release")
+	}
+	q := pool.Get() // recycles p under a new generation
+	if q != p {
+		t.Fatal("expected recycled packet")
+	}
+	if h.Live() || h.Packet() != nil {
+		t.Fatal("stale handle must not resurrect on reuse")
+	}
+	if h2 := HandleOf(q); !h2.Live() {
+		t.Fatal("new owner's handle must be live")
+	}
+}
+
+// TestPacketPoolDoubleReleasePanics: releasing the same packet twice is
+// a hard ownership bug and must fail loudly and deterministically.
+func TestPacketPoolDoubleReleasePanics(t *testing.T) {
+	eng := sim.New(1)
+	pool := PoolOf(eng)
+	p := pool.Get()
+	pool.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	pool.Release(p)
+}
+
+// TestPacketPoolUnpooledNoop: packets allocated outside a pool (tests,
+// pooling disabled) release as no-ops and their handles never go stale.
+func TestPacketPoolUnpooledNoop(t *testing.T) {
+	eng := sim.New(1)
+	pool := PoolOf(eng)
+	p := &Packet{Seq: 9}
+	h := HandleOf(p)
+	pool.Release(p)
+	pool.Release(p) // no double-release panic for unpooled packets
+	if !h.Live() || h.Packet() != p {
+		t.Fatal("unpooled handle must stay live")
+	}
+	if got := pool.Get(); got == p {
+		t.Fatal("unpooled packet must not enter the free list")
+	}
+}
+
+// TestPacketPoolKillSwitch: with pooling off, Get allocates unpooled
+// packets, so release becomes a no-op and nothing is ever reused.
+func TestPacketPoolKillSwitch(t *testing.T) {
+	prev := SetPooling(false)
+	defer SetPooling(prev)
+	eng := sim.New(1)
+	pool := PoolOf(eng)
+	p := pool.Get()
+	pool.Release(p)
+	if q := pool.Get(); q == p {
+		t.Fatal("pooling disabled: packets must not be reused")
+	}
+}
+
+// TestPacketPoolCrossPoolAdoption: releasing into a different engine's
+// pool (the cross-shard case) migrates the packet there.
+func TestPacketPoolCrossPoolAdoption(t *testing.T) {
+	a, b := PoolOf(sim.New(1)), PoolOf(sim.New(2))
+	p := a.Get()
+	b.Release(p)
+	if got := b.Get(); got != p {
+		t.Fatal("releasing pool must adopt the packet")
+	}
+	if got := a.Get(); got == p {
+		t.Fatal("origin pool must not also hold the packet")
+	}
+}

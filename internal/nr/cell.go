@@ -96,8 +96,22 @@ type Cell struct {
 	pendingRetx map[int][]*transportBlock
 	rng         *rand.Rand
 	ticker      *sim.Ticker
+	pool        *netsim.PacketPool
 
 	rbgSize int
+
+	// Per-slot scratch, reused across ticks exactly like the LTE cell's
+	// (DESIGN.md section 12): reused report + Allocs, water-fill inputs,
+	// transport-block free list, and the coalesced TB-delivery queue
+	// drained by one pre-bound event per slot.
+	rep          *lte.SubframeReport
+	blUsers      []*cellUser
+	wants        []int
+	wf           lte.WaterFiller
+	tbFree       []*transportBlock
+	deliveries   []tbDelivery
+	deliverArmed bool
+	deliverFn    func()
 
 	perUserQueueBytes int
 
@@ -121,7 +135,10 @@ type cellUser struct {
 	sink TBSink
 	ch   *phy.Channel
 
+	// queue is indexed from qHead (head-index dequeue with amortized
+	// compaction, retained capacity).
 	queue      []*netsim.Packet
+	qHead      int
 	headSent   int
 	queuedBits int
 	nextTB     uint64
@@ -144,6 +161,15 @@ type transportBlock struct {
 	// the groups still outstanding (failed in every attempt so far).
 	cbTotal       int
 	cbOutstanding int
+}
+
+// tbDelivery is one entry of the cell's coalesced delivery queue; see
+// the LTE cell's twin for the ordering argument.
+type tbDelivery struct {
+	sink TBSink
+	seq  uint64
+	pkts []*netsim.Packet
+	ok   bool
 }
 
 // NewCell creates an NR cell from the config and starts its slot ticker on
@@ -180,6 +206,9 @@ func NewCell(eng *sim.Engine, cfg Config) *Cell {
 		c.perUserQueueBytes = DefaultPerUserQueueBytes
 	}
 	c.rbgSize = rbgSizeFor(nprb)
+	c.pool = netsim.PoolOf(eng)
+	c.rep = &lte.SubframeReport{CellID: c.ID, NPRB: c.NPRB}
+	c.deliverFn = c.deliverPending
 	c.ticker = eng.Every(c.slotDur, c.tick)
 	return c
 }
@@ -240,7 +269,8 @@ func (c *Cell) AttachUser(sink TBSink, rnti uint16, ch *phy.Channel) {
 	c.byRNTI[rnti] = u
 }
 
-// DetachUser removes a user; queued packets are dropped.
+// DetachUser removes a user; queued packets are dropped (and released:
+// the cell was their last owner).
 func (c *Cell) DetachUser(rnti uint16) {
 	u, ok := c.byRNTI[rnti]
 	if !ok {
@@ -253,17 +283,24 @@ func (c *Cell) DetachUser(rnti uint16) {
 			break
 		}
 	}
+	c.pool.ReleaseAll(u.queue[u.qHead:])
+	u.queue = u.queue[:0]
+	u.qHead, u.headSent, u.queuedBits = 0, 0, 0
 }
 
 // Enqueue adds a downlink packet to the user's queue at this cell. It
-// reports false if the RNTI is not attached or the queue is full.
+// reports false if the RNTI is not attached or the queue is full; on
+// either false path the packet is dropped and released (the cell is its
+// last owner).
 func (c *Cell) Enqueue(rnti uint16, p *netsim.Packet) bool {
 	u, ok := c.byRNTI[rnti]
 	if !ok {
+		c.pool.Release(p)
 		return false
 	}
 	if c.perUserQueueBytes > 0 && u.queuedBits/8+p.Size > c.perUserQueueBytes {
 		c.QueueDropped++
+		c.pool.Release(p)
 		return false
 	}
 	u.queue = append(u.queue, p)
@@ -328,7 +365,10 @@ func (c *Cell) tick() {
 		u.lastServedBits = 0
 	}
 
-	rep := &lte.SubframeReport{CellID: c.ID, Subframe: c.slot, NPRB: c.NPRB}
+	// Reused across slots; monitor consumers copy what they keep.
+	rep := c.rep
+	rep.Subframe = c.slot
+	rep.Allocs = rep.Allocs[:0]
 	cursorPRB := 0
 	prbLeft := c.NPRB
 
@@ -401,8 +441,8 @@ func (c *Cell) tick() {
 	// index so the capped grant at the band edge does not always fall on
 	// the same user. Fluid background users (virtual aggregate sessions,
 	// see SetBackground) join the same water-fill after the packet users.
-	var blUsers []*cellUser
-	var wants []int
+	blUsers := c.blUsers[:0]
+	wants := c.wants[:0]
 	for k := range c.users {
 		u := c.users[(k+c.slot)%len(c.users)]
 		if u.queuedBits <= 0 || !u.ch.MCS().Valid() {
@@ -421,7 +461,8 @@ func (c *Cell) tick() {
 			wants = append(wants, int(float64(bg[i].Bits)/perRBG)+1)
 		}
 	}
-	grants := lte.WaterFill(wants, rbgLeft, c.slot)
+	c.blUsers, c.wants = blUsers, wants
+	grants := c.wf.Fill(wants, rbgLeft, c.slot)
 	for i, u := range blUsers {
 		n := grants[i]
 		if n == 0 {
@@ -476,12 +517,20 @@ func (c *Cell) tick() {
 // buildTB drains up to the allocated bits from the user's queue into a new
 // transport block.
 func (c *Cell) buildTB(u *cellUser, rbgs, prbs, bits int, mcs phy.MCS) *transportBlock {
-	tb := &transportBlock{user: u, seq: u.nextTB, rbgs: rbgs, prbs: prbs, bits: bits, mcs: mcs}
+	var tb *transportBlock
+	if n := len(c.tbFree); n > 0 {
+		tb = c.tbFree[n-1]
+		c.tbFree[n-1] = nil
+		c.tbFree = c.tbFree[:n-1]
+	} else {
+		tb = &transportBlock{}
+	}
+	tb.user, tb.seq, tb.rbgs, tb.prbs, tb.bits, tb.mcs = u, u.nextTB, rbgs, prbs, bits, mcs
 	u.nextTB++
 	capBytes := bits / 8
 	served := 0
-	for capBytes > 0 && len(u.queue) > 0 {
-		head := u.queue[0]
+	for capBytes > 0 && u.qHead < len(u.queue) {
+		head := u.queue[u.qHead]
 		rem := head.Size - u.headSent
 		take := rem
 		if take > capBytes {
@@ -492,9 +541,21 @@ func (c *Cell) buildTB(u *cellUser, rbgs, prbs, bits int, mcs phy.MCS) *transpor
 		served += take
 		if u.headSent == head.Size {
 			tb.completed = append(tb.completed, head)
-			u.queue = u.queue[1:]
+			u.queue[u.qHead] = nil
+			u.qHead++
 			u.headSent = 0
 		}
+	}
+	if u.qHead == len(u.queue) {
+		u.queue = u.queue[:0]
+		u.qHead = 0
+	} else if u.qHead > 32 && u.qHead*2 >= len(u.queue) {
+		n := copy(u.queue, u.queue[u.qHead:])
+		for i := n; i < len(u.queue); i++ {
+			u.queue[i] = nil
+		}
+		u.queue = u.queue[:n]
+		u.qHead = 0
 	}
 	u.queuedBits -= served * 8
 	u.lastServedBits += served * 8
@@ -532,18 +593,14 @@ func (c *Cell) transmit(tb *transportBlock) {
 		}
 	}
 	if failed == 0 {
-		c.eng.Schedule(c.slotDur, func() {
-			sink.DeliverTB(c.ID, tb.seq, tb.completed, true)
-		})
+		c.queueDelivery(sink, tb, true)
 		return
 	}
 	c.ErrorTBs++
 	tb.attempts++
 	if tb.attempts > MaxRetransmissions {
 		c.LostTBs++
-		c.eng.Schedule(c.slotDur, func() {
-			sink.DeliverTB(c.ID, tb.seq, tb.completed, false)
-		})
+		c.queueDelivery(sink, tb, false)
 		return
 	}
 	// Shrink the retransmission grant to the failed groups' share of the
@@ -557,6 +614,31 @@ func (c *Cell) transmit(tb *transportBlock) {
 	tb.bits = failed * CodeBlockBits
 	retxAt := c.slot + HARQDelaySlots
 	c.pendingRetx[retxAt] = append(c.pendingRetx[retxAt], tb)
+}
+
+// queueDelivery appends the block's outcome to the coalesced delivery
+// queue and recycles the block struct; one pre-bound event per slot
+// drains the queue in transmit order (see the LTE cell's twin).
+func (c *Cell) queueDelivery(sink TBSink, tb *transportBlock, ok bool) {
+	c.deliveries = append(c.deliveries, tbDelivery{sink: sink, seq: tb.seq, pkts: tb.completed, ok: ok})
+	if !c.deliverArmed {
+		c.deliverArmed = true
+		c.eng.Schedule(c.slotDur, c.deliverFn)
+	}
+	*tb = transportBlock{}
+	c.tbFree = append(c.tbFree, tb)
+}
+
+// deliverPending hands every queued transport-block outcome to its sink.
+func (c *Cell) deliverPending() {
+	c.deliverArmed = false
+	ds := c.deliveries
+	for i := range ds {
+		d := &ds[i]
+		d.sink.DeliverTB(c.ID, d.seq, d.pkts, d.ok)
+		*d = tbDelivery{}
+	}
+	c.deliveries = ds[:0]
 }
 
 // BlockageTrajectory builds the abrupt mmWave blockage profile: the RSSI

@@ -32,6 +32,7 @@ type Sender struct {
 	eng  *sim.Engine
 	spec MediaSpec
 	snd  *cc.Sender
+	pool *netsim.PacketPool
 
 	queue []*queuedFrame
 
@@ -58,7 +59,7 @@ type queuedFrame struct {
 // NewSender wires a media sender for flowID transmitting into out under
 // ctrl. Call Start, then QueueFrame (typically as an Encoder's sink).
 func NewSender(eng *sim.Engine, flowID int, out netsim.Handler, ctrl cc.Controller, spec MediaSpec) *Sender {
-	s := &Sender{eng: eng, spec: spec.withDefaults()}
+	s := &Sender{eng: eng, spec: spec.withDefaults(), pool: netsim.PoolOf(eng)}
 	s.snd = cc.NewSender(eng, flowID, out, ctrl)
 	s.snd.Source = s.next
 	s.snd.AppLimited = true
@@ -113,17 +114,17 @@ func (s *Sender) QueueFrame(f Frame) {
 		if f.Bytes-off < size {
 			size = f.Bytes - off
 		}
-		qf.pkts = append(qf.pkts, &netsim.Packet{
-			Size: size,
-			Media: netsim.MediaInfo{
-				FrameSeq:   f.Seq,
-				FrameBytes: f.Bytes,
-				Offset:     off,
-				Layer:      int8(f.Layer),
-				Keyframe:   f.Keyframe,
-				CapturedAt: f.CapturedAt,
-			},
-		})
+		p := s.pool.Get()
+		p.Size = size
+		p.Media = netsim.MediaInfo{
+			FrameSeq:   f.Seq,
+			FrameBytes: f.Bytes,
+			Offset:     off,
+			Layer:      int8(f.Layer),
+			Keyframe:   f.Keyframe,
+			CapturedAt: f.CapturedAt,
+		}
+		qf.pkts = append(qf.pkts, p)
 	}
 	s.queue = append(s.queue, qf)
 	s.FramesQueued++
@@ -143,10 +144,13 @@ func (s *Sender) next(now time.Duration) *netsim.Packet {
 				buf.Instant("frame_shed", "rtc", now, s.snd.FlowID)
 			}
 			// Only the untransmitted remainder counts as dropped bytes;
-			// the sent prefix is already in the transport's SentBytes.
+			// the sent prefix is already in the transport's SentBytes. The
+			// remainder never reaches the wire, so the pacer is its last
+			// owner and releases it here.
 			for _, p := range head.pkts[head.sent:] {
 				s.BytesDropped += uint64(p.Size)
 			}
+			s.pool.ReleaseAll(head.pkts[head.sent:])
 			s.queue = s.queue[1:]
 			continue
 		}
@@ -171,5 +175,8 @@ func (s *Sender) next(now time.Duration) *netsim.Packet {
 	s.PaddingSent++
 	mPadding.Inc()
 	s.snd.AppLimited = false
-	return &netsim.Packet{Size: netsim.MSS, Padding: true}
+	p := s.pool.Get()
+	p.Size = netsim.MSS
+	p.Padding = true
+	return p
 }

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,12 +35,44 @@ var (
 // shard, never the order of anything observable. Output is therefore
 // byte-identical for any worker count - the same contract the sweep
 // runner enforces across jobs, now held inside one scenario.
+//
+// Hot-path shape (profiled at metro scale): each window is ONE parallel
+// phase per shard - drain the shard's inbox, then advance its engine to
+// the window end. Senders push cross-shard events directly into the
+// destination shard's inbox under a small mutex, into the buffer of the
+// current window's parity; the destination drains the opposite parity at
+// the start of the next window, so the drained set is exactly what the
+// previous window produced regardless of thread interleaving, and the
+// (arrival, src, seq) sort restores one total order. Workers are
+// persistent goroutines spawned once per RunUntil - not per window - fed
+// by an atomic shard counter, and inbox/scratch buffers are retained
+// across windows, so steady-state window synchronization allocates
+// nothing.
 type Cluster struct {
 	seed      int64
 	shards    []*Shard
 	lookahead time.Duration // min declared cross-shard latency; 0 = none
 	clock     time.Duration // start of the current window
 	workers   int
+
+	// parity selects which of each shard's two inbox buffers senders
+	// append to during the current phase; receivers drain the other.
+	// Flipped serially between phases.
+	parity int
+
+	// winEnd is the current window's end, read by the pre-bound phase
+	// function so advancing a window allocates no closure.
+	winEnd time.Duration
+	runFn  func(*Shard) // bound once: drain inbox, run to winEnd
+
+	// Persistent worker pool, alive for the duration of one RunUntil.
+	// next is the shared shard-claim counter; a token on work releases
+	// every worker into one claiming pass over the shards.
+	next     atomic.Int64
+	phaseWG  sync.WaitGroup
+	work     chan struct{}
+	workerWG sync.WaitGroup
+	poolSize int
 
 	// rec, when non-nil, collects the run's virtual-time trace: each
 	// shard gets a ring buffer, drained into the recorder at every
@@ -58,7 +90,12 @@ type Cluster struct {
 // seed; shard 0 keeps seed itself, so a one-shard cluster is
 // bit-compatible with a bare Engine created by New(seed).
 func NewCluster(seed int64) *Cluster {
-	return &Cluster{seed: seed, workers: 1}
+	c := &Cluster{seed: seed, workers: 1}
+	c.runFn = func(s *Shard) {
+		s.drainInbox()
+		s.Engine.RunUntil(c.winEnd)
+	}
+	return c
 }
 
 // shardSeed derives shard id's engine seed from the cluster seed. The
@@ -159,35 +196,34 @@ func (c *Cluster) Now() time.Duration { return c.clock }
 
 // RunUntil advances every shard to exactly time t. With no declared
 // lookahead the shards are independent and each runs straight through;
-// otherwise the cluster alternates bounded execution windows with
-// deterministic mailbox barriers.
+// otherwise the cluster alternates bounded execution windows (each one
+// parallel inbox-drain-plus-run phase) with serial barrier bookkeeping.
 func (c *Cluster) RunUntil(t time.Duration) {
 	if len(c.shards) == 0 {
 		c.clock = t
 		return
 	}
+	c.startWorkers()
 	for c.clock < t {
 		end := t
 		if c.lookahead > 0 && c.clock+c.lookahead < t {
 			end = c.clock + c.lookahead
 		}
-		c.each(func(s *Shard) { s.Engine.RunUntil(end) })
-		if c.lookahead > 0 {
-			c.each((*Shard).deliver)
-		}
+		c.runWindow(end)
 		c.observeWindow(c.clock, end)
 		c.clock = end
 	}
 	if c.lookahead > 0 {
-		// The final barrier may have delivered events whose arrival is
+		// The final window may have produced events whose arrival is
 		// exactly t (a send at the last window's start with delay ==
-		// lookahead); run them so the cluster honors Engine.RunUntil's
-		// "events with timestamps <= t" contract. This converges in one
-		// pass: anything those events send crosses with positive delay,
-		// so it arrives strictly after t and stays queued for a later
-		// RunUntil.
-		c.each(func(s *Shard) { s.Engine.RunUntil(t) })
+		// lookahead); drain and run them so the cluster honors
+		// Engine.RunUntil's "events with timestamps <= t" contract. This
+		// converges in one pass: anything those events send crosses with
+		// positive delay, so it arrives strictly after t and stays queued
+		// for a later RunUntil.
+		c.runWindow(t)
 	}
+	c.stopWorkers()
 	if c.rec != nil {
 		// Collect anything emitted after the last barrier (the final
 		// convergence pass above, or an unsharded straight-through run),
@@ -206,6 +242,93 @@ func (c *Cluster) RunUntil(t time.Duration) {
 			c.srec.Drain(buf)
 		}
 	}
+}
+
+// runWindow advances every shard through one window ending at end: each
+// shard first merges the cross-shard events the previous window sent it
+// (parity-selected, so the set is exactly last window's regardless of
+// thread timing), then executes to the window end. The parity flip and
+// winEnd store happen serially before workers are released; the phase
+// barrier publishes every shard's writes to the next window.
+func (c *Cluster) runWindow(end time.Duration) {
+	c.parity ^= 1
+	c.winEnd = end
+	c.runPhase()
+}
+
+// startWorkers spawns the persistent claim-loop workers used by every
+// window of one RunUntil. With one worker (or one shard) the phases run
+// serially on the caller and no goroutines exist at all.
+func (c *Cluster) startWorkers() {
+	w := c.workers
+	if w > len(c.shards) {
+		w = len(c.shards)
+	}
+	if w <= 1 {
+		c.poolSize = 0
+		return
+	}
+	// The calling goroutine participates in every phase, so w workers
+	// means w-1 spawned goroutines.
+	c.poolSize = w - 1
+	c.work = make(chan struct{}, c.poolSize)
+	c.workerWG.Add(c.poolSize)
+	for i := 0; i < c.poolSize; i++ {
+		go func() {
+			defer c.workerWG.Done()
+			for range c.work {
+				c.claimShards()
+				c.phaseWG.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers retires the pool at the end of RunUntil, so clusters never
+// leak goroutines between runs.
+func (c *Cluster) stopWorkers() {
+	if c.poolSize == 0 {
+		return
+	}
+	close(c.work)
+	c.workerWG.Wait()
+	c.work = nil
+	c.poolSize = 0
+}
+
+// claimShards is one claiming pass: grab the next unclaimed shard index
+// and apply the current phase function until none remain.
+func (c *Cluster) claimShards() {
+	n := int64(len(c.shards))
+	for {
+		k := c.next.Add(1)
+		if k >= n {
+			return
+		}
+		c.runFn(c.shards[k])
+	}
+}
+
+// runPhase applies the bound window function to every shard, in parallel
+// when the pool is live. Shards are claimed through an atomic counter, so
+// a slow shard never blocks the others from proceeding within the phase;
+// the WaitGroup barrier is what publishes every shard's writes to the
+// next phase. The caller claims alongside the pool, so a phase costs
+// poolSize channel wakeups and no allocation.
+func (c *Cluster) runPhase() {
+	if c.poolSize == 0 {
+		for _, s := range c.shards {
+			c.runFn(s)
+		}
+		return
+	}
+	c.next.Store(-1)
+	c.phaseWG.Add(c.poolSize)
+	for i := 0; i < c.poolSize; i++ {
+		c.work <- struct{}{}
+	}
+	c.claimShards()
+	c.phaseWG.Wait()
 }
 
 // observeWindow is the serial per-window bookkeeping: shard idle
@@ -246,41 +369,6 @@ func (c *Cluster) observeWindow(start, end time.Duration) {
 	}
 }
 
-// each applies f to every shard, using up to c.workers goroutines. Shards
-// are claimed through an atomic counter, so a slow shard never blocks the
-// others from proceeding within the phase; the WaitGroup barrier is what
-// publishes every shard's writes to the next phase.
-func (c *Cluster) each(f func(*Shard)) {
-	n := len(c.shards)
-	w := c.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for _, s := range c.shards {
-			f(s)
-		}
-		return
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				k := next.Add(1)
-				if k >= int64(n) {
-					return
-				}
-				f(c.shards[k])
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // Shard is one partition of a clustered simulation: a full Engine (free
 // list, 4-ary heap, seeded randomness) plus mailboxes for events that
 // cross to other shards. All entities pinned to a shard schedule on its
@@ -290,10 +378,14 @@ type Shard struct {
 	id      int
 	cluster *Cluster
 
-	// outbox[dst] buffers events sent to shard dst during the current
-	// window. Only this shard's worker appends during execution; the
-	// destination drains it at the barrier.
-	outbox [][]crossEvent
+	// inbox is the shard's double-buffered cross-shard mailbox. Senders
+	// append directly into inbox[cluster.parity] under mu during a
+	// window; the shard drains inbox[1-parity] - exactly the previous
+	// window's sends - at the start of the next window. Both buffers
+	// keep their capacity across windows.
+	mu    [2]sync.Mutex
+	inbox [2][]crossEvent
+
 	outSeq uint64
 
 	// prevExec is the engine's executed count at the last window
@@ -337,42 +429,46 @@ func (s *Shard) Send(dst *Shard, delay time.Duration, fn func()) {
 	if delay < la {
 		panic(fmt.Sprintf("sim: cross-shard delay %v below lookahead %v", delay, la))
 	}
-	for len(s.outbox) <= dst.id {
-		s.outbox = append(s.outbox, nil)
-	}
 	s.outSeq++
-	s.outbox[dst.id] = append(s.outbox[dst.id], crossEvent{
-		at: s.Engine.Now() + delay, src: s.id, seq: s.outSeq, fn: fn,
-	})
+	ev := crossEvent{at: s.Engine.Now() + delay, src: s.id, seq: s.outSeq, fn: fn}
+	par := s.cluster.parity
+	dst.mu[par].Lock()
+	dst.inbox[par] = append(dst.inbox[par], ev)
+	dst.mu[par].Unlock()
 }
 
-// deliver merges every mailbox addressed to this shard into its local
-// queue. Sorting by (arrival, source shard, source sequence) before
-// scheduling fixes the local tie-break sequence numbers, making the merge
-// independent of which worker ran which shard.
-func (d *Shard) deliver() {
-	var in []crossEvent
-	for _, s := range d.cluster.shards {
-		if d.id < len(s.outbox) && len(s.outbox[d.id]) > 0 {
-			in = append(in, s.outbox[d.id]...)
-			s.outbox[d.id] = s.outbox[d.id][:0]
-		}
-	}
+// drainInbox merges the cross-shard events the previous window sent this
+// shard into its local queue. Sorting by (arrival, source shard, source
+// sequence) before scheduling fixes the local tie-break sequence numbers,
+// making the merge independent of how senders' appends interleaved. The
+// buffer is resliced, not reallocated, so steady-state traffic reuses
+// last window's capacity.
+func (d *Shard) drainInbox() {
+	par := d.cluster.parity ^ 1
+	in := d.inbox[par]
 	if len(in) == 0 {
 		return
 	}
 	mCrossEvents.Add(uint64(len(in)))
 	mMailboxMax.Observe(int64(len(in)))
-	sort.Slice(in, func(i, j int) bool {
-		if in[i].at != in[j].at {
-			return in[i].at < in[j].at
+	slices.SortFunc(in, func(a, b crossEvent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
-		if in[i].src != in[j].src {
-			return in[i].src < in[j].src
+		if a.src != b.src {
+			return a.src - b.src
 		}
-		return in[i].seq < in[j].seq
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
 	})
-	for _, ev := range in {
-		d.Engine.At(ev.at, ev.fn)
+	for i := range in {
+		d.Engine.At(in[i].at, in[i].fn)
+		in[i].fn = nil
 	}
+	d.inbox[par] = in[:0]
 }

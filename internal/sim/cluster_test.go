@@ -212,3 +212,36 @@ func BenchmarkClusterWindowSync(b *testing.B) {
 		})
 	}
 }
+
+// TestClusterWindowSyncAllocs pins the fix for the historical
+// workers=4 allocation blow-up (2762 allocs/op vs 356 at workers=1,
+// from per-window goroutine spawns and mailbox reallocation): with
+// persistent workers and retained inboxes, adding workers must not
+// multiply allocations. The benchmark-derived bound asserts workers=4
+// stays within 2x of workers=1 and under the 700 allocs/op budget.
+func TestClusterWindowSyncAllocs(t *testing.T) {
+	run := func(workers int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			c := NewCluster(1)
+			var shards []*Shard
+			for k := 0; k < 16; k++ {
+				shards = append(shards, c.AddShard())
+			}
+			c.SetWorkers(workers)
+			c.DeclareLookahead(5 * time.Millisecond)
+			for _, s := range shards {
+				s.Every(time.Millisecond, func() {})
+			}
+			c.RunUntil(time.Second)
+		})
+	}
+	a1 := run(1)
+	a4 := run(4)
+	t.Logf("allocs/op: workers=1 %.0f, workers=4 %.0f", a1, a4)
+	if a4 > 700 {
+		t.Errorf("workers=4 allocates %.0f/op, budget is 700", a4)
+	}
+	if a4 > 2*a1 {
+		t.Errorf("workers=4 allocates %.0f/op, more than 2x workers=1 (%.0f/op)", a4, a1)
+	}
+}

@@ -117,6 +117,12 @@ type Engine struct {
 	// by the cluster when a run records series; nil costs one pointer
 	// load at each track-creation site and one branch per sample.
 	seriesBuf *obs.SeriesBuffer
+
+	// pktPool is an opaque per-engine slot for netsim's packet free
+	// list. The engine cannot name the concrete type (sim must not
+	// import netsim), but owning the slot keeps the pool engine-local:
+	// one single-threaded free list per shard, no locks, no global map.
+	pktPool any
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -140,6 +146,16 @@ func (e *Engine) SetObsBuffer(b *obs.Buffer) { e.obsBuf = b }
 // ObsBuffer returns the engine's trace ring, nil when the run is not
 // traced. Emission sites must nil-check.
 func (e *Engine) ObsBuffer() *obs.Buffer { return e.obsBuf }
+
+// PacketPool returns the engine's packet-pool slot (nil until netsim
+// installs one). The slot is opaque at this layer; netsim.PoolOf does
+// the typed access.
+func (e *Engine) PacketPool() any { return e.pktPool }
+
+// SetPacketPool installs the engine's packet pool. Like the engine's
+// event free list, the pool is engine-local and therefore needs no
+// synchronization: in a cluster every shard engine carries its own.
+func (e *Engine) SetPacketPool(p any) { e.pktPool = p }
 
 // SetSeriesBuffer attaches (or detaches, with nil) the engine's series
 // ring.

@@ -6,6 +6,9 @@
 #
 # Determinism gates (byte compare; writes the *_PR artifact):
 #   micro          engine microbenchmarks + allocation gate (>10% B/op or allocs/op)
+#   micro-diff     hot-path benches (cluster window sync, engine scheduling,
+#                  metro shard scaling) with the ns/op gate ON (>25% fails;
+#                  override with MICRO_NS_BUDGET) -> BENCH_MICRODIFF_PR.txt
 #   smoke-det      smoke matrix, workers 1 vs 8           -> BENCH_PR.json
 #   metro-det      metro slice, shards 1 vs 4             -> BENCH_METRO_PR.json
 #   obs-det        metro slice, -obs vs plain             -> metro_obs.json
@@ -46,6 +49,22 @@ gate_micro() {
   # B/op and allocs/op are deterministic per op, so they gate even on
   # shared runners; ns/op stays informational (no -max-regress-ns).
   sweep -benchdiff -max-regress 10 -allow-missing BENCH_micro_baseline.txt BENCH_MICRO_PR.txt
+}
+
+# Hot-path speed gate: unlike gate_micro, this one gates ns/op too (25%
+# budget, MICRO_NS_BUDGET overrides) on the benches whose per-op time is
+# long or tight enough to be stable across runs of the same runner class:
+# the cluster window loop, the engine scheduling core, and the metro
+# shard-scaling family (one full iteration each; a 2+ second simulated
+# run amortizes scheduler noise). A slower runner generation can trip
+# this - loosen with MICRO_NS_BUDGET=-1 and regenerate the baseline.
+gate_micro_diff() {
+  go test -bench 'ClusterWindowSync|ScheduleRun' -benchmem -run '^$' ./internal/sim/ | tee BENCH_MICRODIFF_PR.txt
+  # One iteration of each multi-second metro bench; ten of the ~60 ms
+  # smoke slice, where a single sample is scheduler-noise dominated.
+  go test -bench 'Metro[0-9]' -benchmem -benchtime 1x -run '^$' . | tee -a BENCH_MICRODIFF_PR.txt
+  go test -bench 'MetroSmokeSlice' -benchmem -benchtime 10x -run '^$' . | tee -a BENCH_MICRODIFF_PR.txt
+  sweep -benchdiff -max-regress 25 -max-regress-ns "${MICRO_NS_BUDGET:-25}" -allow-missing BENCH_micro_baseline.txt BENCH_MICRODIFF_PR.txt
 }
 
 gate_smoke_det() {
